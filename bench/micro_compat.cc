@@ -1,0 +1,121 @@
+// Microbenchmarks for the compatibility machinery: Algorithm 1 (signed
+// BFS), SBPH label-setting, exact SBP queries, plain BFS baseline, and
+// oracle row caching. Run with --benchmark_filter=... to narrow.
+
+#include <benchmark/benchmark.h>
+
+#include "src/compat/compatibility.h"
+#include "src/compat/sbp.h"
+#include "src/compat/signed_bfs.h"
+#include "src/data/datasets.h"
+#include "src/gen/generators.h"
+#include "src/graph/bfs.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+namespace {
+
+// Shared graphs, built once.
+const SignedGraph& GraphOfSize(int64_t n) {
+  static auto* cache = new std::map<int64_t, SignedGraph>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    Rng rng(42 + static_cast<uint64_t>(n));
+    it = cache->emplace(n, RandomPreferentialAttachment(
+                               static_cast<uint32_t>(n),
+                               static_cast<uint64_t>(n) * 7, 0.2, &rng))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_PlainBfs(benchmark::State& state) {
+  const SignedGraph& g = GraphOfSize(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    NodeId q = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    benchmark::DoNotOptimize(BfsDistances(g, q));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_PlainBfs)->Arg(1000)->Arg(10000)->Arg(30000);
+
+void BM_SignedShortestPathCount(benchmark::State& state) {
+  const SignedGraph& g = GraphOfSize(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    NodeId q = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    benchmark::DoNotOptimize(SignedShortestPathCount(g, q));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_SignedShortestPathCount)->Arg(1000)->Arg(10000)->Arg(30000);
+
+void BM_SbphFromSource(benchmark::State& state) {
+  const SignedGraph& g = GraphOfSize(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    NodeId q = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    benchmark::DoNotOptimize(SbphFromSource(g, q));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_SbphFromSource)->Arg(1000)->Arg(10000)->Arg(30000);
+
+void BM_SbpExactPair(benchmark::State& state) {
+  // Slashdot-scale graph: the regime the paper computes SBP on.
+  Rng graph_rng(7);
+  SignedGraph g = RandomConnectedGnm(214, 304, 0.29, &graph_rng);
+  SbpExactParams params;
+  params.max_depth = static_cast<uint32_t>(state.range(0));
+  SbpExactSearch search(g, params);
+  Rng rng(4);
+  for (auto _ : state) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    if (u == v) v = (v + 1) % g.num_nodes();
+    benchmark::DoNotOptimize(search.ShortestBalancedPath(u, v, Sign::kPositive));
+  }
+}
+BENCHMARK(BM_SbpExactPair)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_OracleRowCached(benchmark::State& state) {
+  const SignedGraph& g = GraphOfSize(10000);
+  auto kind = static_cast<CompatKind>(state.range(0));
+  auto oracle = MakeOracle(g, kind);
+  oracle->GetRow(0);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle->Compatible(0, 123));
+  }
+}
+BENCHMARK(BM_OracleRowCached)
+    ->Arg(static_cast<int>(CompatKind::kSPM))
+    ->Arg(static_cast<int>(CompatKind::kSBPH))
+    ->Arg(static_cast<int>(CompatKind::kNNE));
+
+void BM_OracleRowCold(benchmark::State& state) {
+  const SignedGraph& g = GraphOfSize(10000);
+  auto kind = static_cast<CompatKind>(state.range(0));
+  OracleParams params;
+  params.max_cached_rows = 1;  // force misses
+  auto oracle = MakeOracle(g, kind, params);
+  Rng rng(5);
+  NodeId q = 0;
+  for (auto _ : state) {
+    q = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    benchmark::DoNotOptimize(oracle->GetRow(q));
+  }
+}
+BENCHMARK(BM_OracleRowCold)
+    ->Arg(static_cast<int>(CompatKind::kSPA))
+    ->Arg(static_cast<int>(CompatKind::kSPM))
+    ->Arg(static_cast<int>(CompatKind::kSBPH))
+    ->Arg(static_cast<int>(CompatKind::kNNE));
+
+}  // namespace
+}  // namespace tfsn
+
+BENCHMARK_MAIN();

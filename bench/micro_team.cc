@@ -1,0 +1,120 @@
+// Microbenchmarks for team formation: the greedy former per policy, the
+// exact solver on small instances, and the unsigned RarestFirst baseline.
+
+#include <benchmark/benchmark.h>
+
+#include "src/compat/skill_index.h"
+#include "src/data/datasets.h"
+#include "src/gen/generators.h"
+#include "src/skills/skill_generator.h"
+#include "src/team/exact.h"
+#include "src/team/greedy.h"
+#include "src/team/unsigned_tf.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+namespace {
+
+struct Fixture {
+  Dataset ds;
+  std::unique_ptr<CompatibilityOracle> oracle;
+  std::unique_ptr<SkillCompatibilityIndex> index;
+
+  explicit Fixture(double scale, CompatKind kind) {
+    DatasetOptions options;
+    options.scale = scale;
+    ds = MakeEpinions(options);
+    oracle = MakeOracle(ds.graph, kind);
+    Rng rng(9);
+    index = std::make_unique<SkillCompatibilityIndex>(oracle.get(), ds.skills,
+                                                      200, &rng);
+  }
+};
+
+Fixture& SharedFixture(CompatKind kind) {
+  static auto* cache = new std::map<CompatKind, std::unique_ptr<Fixture>>();
+  auto it = cache->find(kind);
+  if (it == cache->end()) {
+    it = cache->emplace(kind, std::make_unique<Fixture>(0.08, kind)).first;
+  }
+  return *it->second;
+}
+
+void BM_GreedyForm(benchmark::State& state) {
+  auto kind = static_cast<CompatKind>(state.range(0));
+  auto user_policy = static_cast<UserPolicy>(state.range(1));
+  Fixture& fx = SharedFixture(kind);
+  GreedyParams params;
+  params.skill_policy = SkillPolicy::kLeastCompatible;
+  params.user_policy = user_policy;
+  params.max_seeds = 10;
+  GreedyTeamFormer former(fx.oracle.get(), fx.ds.skills, fx.index.get(),
+                          params);
+  Rng rng(11);
+  uint64_t solved = 0, total = 0;
+  for (auto _ : state) {
+    Task task = RandomTask(fx.ds.skills, 5, &rng);
+    TeamResult r = former.Form(task, &rng);
+    solved += r.found;
+    ++total;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["solved_frac"] =
+      total == 0 ? 0.0 : static_cast<double>(solved) / total;
+}
+BENCHMARK(BM_GreedyForm)
+    ->Args({static_cast<int>(CompatKind::kSPM),
+            static_cast<int>(UserPolicy::kMinDistance)})
+    ->Args({static_cast<int>(CompatKind::kSPM),
+            static_cast<int>(UserPolicy::kMostCompatible)})
+    ->Args({static_cast<int>(CompatKind::kSPM),
+            static_cast<int>(UserPolicy::kRandom)})
+    ->Args({static_cast<int>(CompatKind::kNNE),
+            static_cast<int>(UserPolicy::kMinDistance)})
+    ->Args({static_cast<int>(CompatKind::kSBPH),
+            static_cast<int>(UserPolicy::kMinDistance)});
+
+void BM_ExactSolver(benchmark::State& state) {
+  Rng graph_rng(13);
+  SignedGraph g =
+      RandomConnectedGnm(static_cast<uint32_t>(state.range(0)),
+                         static_cast<uint64_t>(state.range(0)) * 3, 0.25,
+                         &graph_rng);
+  ZipfSkillParams sp;
+  sp.num_skills = 12;
+  SkillAssignment sa = ZipfSkills(static_cast<uint32_t>(state.range(0)), sp,
+                                  &graph_rng);
+  auto oracle = MakeOracle(g, CompatKind::kSPM);
+  Rng rng(15);
+  for (auto _ : state) {
+    Task task = RandomTask(sa, 3, &rng);
+    benchmark::DoNotOptimize(SolveExact(oracle.get(), sa, task));
+  }
+}
+BENCHMARK(BM_ExactSolver)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_RarestFirst(benchmark::State& state) {
+  Fixture& fx = SharedFixture(CompatKind::kNNE);
+  Rng rng(17);
+  for (auto _ : state) {
+    Task task = RandomTask(fx.ds.skills, 5, &rng);
+    benchmark::DoNotOptimize(RarestFirst(fx.ds.graph, fx.ds.skills, task));
+  }
+}
+BENCHMARK(BM_RarestFirst);
+
+void BM_SkillIndexBuild(benchmark::State& state) {
+  Fixture& fx = SharedFixture(CompatKind::kSPM);
+  for (auto _ : state) {
+    Rng rng(19);
+    SkillCompatibilityIndex index(fx.oracle.get(), fx.ds.skills,
+                                  static_cast<uint32_t>(state.range(0)), &rng);
+    benchmark::DoNotOptimize(index.Degree(0));
+  }
+}
+BENCHMARK(BM_SkillIndexBuild)->Arg(50)->Arg(200);
+
+}  // namespace
+}  // namespace tfsn
+
+BENCHMARK_MAIN();

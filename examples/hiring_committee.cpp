@@ -1,0 +1,87 @@
+// Scenario: assembling a hiring committee in a polarized organization.
+//
+// The org has two informal camps (a planted two-faction signed network with
+// some noise). A committee needs one member per required competence. We
+// compare (a) classic unsigned team formation that ignores conflicts with
+// (b) signed-aware formation under increasingly strict compatibility — and
+// show how often the unsigned committee would seat open antagonists
+// together (the paper's Table 3 phenomenon on a concrete story).
+//
+//   ./build/examples/hiring_committee [--members=200] [--tasks=30]
+
+#include <cstdio>
+
+#include "src/tfsn.h"
+
+int main(int argc, char** argv) {
+  using namespace tfsn;
+  Flags flags(argc, argv);
+  const uint32_t n = static_cast<uint32_t>(flags.GetInt("members", 200));
+  const uint32_t num_tasks = static_cast<uint32_t>(flags.GetInt("tasks", 30));
+
+  // Two camps; 10% of relations defy the camp structure.
+  Rng rng(11);
+  SignedGraph org = PlantedPartitionSigned(n, n * 5, /*noise=*/0.10, &rng);
+  std::printf("organization: %s, balanced: %s\n", org.ToString().c_str(),
+              CheckBalance(org).balanced ? "yes" : "no (noise)");
+  TriangleCensus census = CountTriangles(org);
+  std::printf("triangle balance ratio: %.2f\n", census.balance_ratio());
+
+  // Competences: 30, Zipf-distributed (chairing is common, legal is rare),
+  // so rare competences often live in one camp only.
+  ZipfSkillParams sp;
+  sp.num_skills = 30;
+  sp.mean_skills_per_user = 1.5;
+  SkillAssignment skills = ZipfSkills(n, sp, &rng);
+
+  std::vector<Task> tasks = RandomTasks(skills, 6, num_tasks, &rng);
+
+  // (a) Unsigned committee: ignore conflicts altogether.
+  uint32_t unsigned_found = 0, unsigned_with_foes = 0;
+  SignedGraph unsigned_org = IgnoreSigns(org);
+  auto nne = MakeOracle(org, CompatKind::kNNE);
+  for (const Task& task : tasks) {
+    UnsignedTeamResult team = RarestFirst(unsigned_org, skills, task);
+    if (!team.found) continue;
+    ++unsigned_found;
+    if (!TeamCompatible(nne.get(), team.members)) ++unsigned_with_foes;
+  }
+  std::printf(
+      "\nunsigned RarestFirst: %u/%u committees formed, %u contain direct "
+      "antagonists\n",
+      unsigned_found, num_tasks, unsigned_with_foes);
+
+  // (b) Signed-aware committees per relation.
+  std::printf("\nsigned-aware formation (LCMD):\n");
+  TextTable table({"relation", "formed %", "avg diameter"});
+  for (CompatKind kind : {CompatKind::kNNE, CompatKind::kSBPH,
+                          CompatKind::kSPO, CompatKind::kSPM,
+                          CompatKind::kSPA}) {
+    auto oracle = MakeOracle(org, kind);
+    Rng index_rng(13);
+    SkillCompatibilityIndex index(oracle.get(), skills, 0, &index_rng);
+    GreedyParams params;
+    params.max_seeds = 10;
+    GreedyTeamFormer former(oracle.get(), skills, &index, params);
+    uint32_t formed = 0;
+    double diameter_sum = 0;
+    Rng run_rng(17);
+    for (const Task& task : tasks) {
+      TeamResult team = former.Form(task, &run_rng);
+      if (team.found) {
+        ++formed;
+        diameter_sum += team.cost;
+      }
+    }
+    table.AddRow({CompatKindName(kind),
+                  TextTable::Fmt(100.0 * formed / num_tasks, 0),
+                  TextTable::Fmt(formed ? diameter_sum / formed : 0, 2)});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf(
+      "\nIn a polarized org, stricter compatibility can only staff\n"
+      "committees whose competences co-exist inside one camp, so the\n"
+      "formation rate drops from NNE to SPA — the price of guaranteed\n"
+      "harmony.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Scenario: on-call incident response in an engineering org.
+//
+// When an incident needs k distinct specialties, how does the chance of
+// staffing a *compatible* response team degrade with incident complexity,
+// and how far apart (communication cost) do the responders end up? This is
+// the paper's Figure 2(c)/(d) question asked on an Epinions-like org
+// network.
+//
+//   ./build/examples/incident_response [--scale=0.08] [--tasks=30]
+
+#include <cstdio>
+
+#include "src/exp/experiments.h"
+#include "src/tfsn.h"
+
+int main(int argc, char** argv) {
+  using namespace tfsn;
+  Flags flags(argc, argv);
+
+  DatasetOptions options;
+  options.scale = flags.GetDouble("scale", 0.08);
+  options.seed = 31;
+  Dataset org = MakeEpinions(options);
+  std::printf("org network: %s\n", org.graph.ToString().c_str());
+
+  TeamExperimentOptions exp;
+  exp.num_tasks = static_cast<uint32_t>(flags.GetInt("tasks", 30));
+  exp.max_seeds = 10;
+  exp.kinds = {CompatKind::kSPM, CompatKind::kSBPH, CompatKind::kNNE};
+  exp.seed = 33;
+
+  std::vector<uint32_t> severities{2, 4, 6, 8, 10};
+  auto points = RunFig2cd(org, severities, exp);
+
+  std::printf("\nstaffing probability by incident complexity:\n");
+  std::vector<std::string> header{"relation"};
+  for (uint32_t k : severities) {
+    header.push_back(std::to_string(k) + " specialties");
+  }
+  TextTable staffed(header);
+  TextTable spread(header);
+  for (CompatKind kind : exp.kinds) {
+    std::vector<std::string> s{CompatKindName(kind)};
+    std::vector<std::string> d{CompatKindName(kind)};
+    for (uint32_t k : severities) {
+      for (const auto& p : points) {
+        if (p.kind == kind && p.task_size == k) {
+          s.push_back(TextTable::Fmt(p.solved_pct, 0) + "%");
+          d.push_back(TextTable::Fmt(p.avg_diameter, 2));
+        }
+      }
+    }
+    staffed.AddRow(s);
+    spread.AddRow(d);
+  }
+  std::fputs(staffed.ToString().c_str(), stdout);
+  std::printf("\nresponder spread (team diameter):\n");
+  std::fputs(spread.ToString().c_str(), stdout);
+
+  std::printf(
+      "\nReading: under the strict majority rule (SPM) big incidents may be\n"
+      "unstaffable, while balance-based compatibility (SBPH) keeps nearly\n"
+      "every incident staffable at a modest increase in responder spread.\n");
+  return 0;
+}

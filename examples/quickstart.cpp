@@ -1,0 +1,69 @@
+// Quickstart: build a signed network, check who can work with whom, and
+// form a compatible team for a task.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/tfsn.h"
+
+int main() {
+  using namespace tfsn;
+
+  // 1. A signed social network: positive edges are friendships, negative
+  //    edges are conflicts. Ids: 0=Ana 1=Bo 2=Cy 3=Di 4=Eve 5=Fil.
+  const char* names[] = {"Ana", "Bo", "Cy", "Di", "Eve", "Fil"};
+  SignedGraphBuilder builder(6);
+  builder.AddEdge(0, 1, Sign::kPositive).CheckOK();   // Ana ~ Bo
+  builder.AddEdge(1, 2, Sign::kPositive).CheckOK();   // Bo ~ Cy
+  builder.AddEdge(2, 3, Sign::kPositive).CheckOK();   // Cy ~ Di
+  builder.AddEdge(0, 4, Sign::kNegative).CheckOK();   // Ana x Eve
+  builder.AddEdge(4, 5, Sign::kPositive).CheckOK();   // Eve ~ Fil
+  builder.AddEdge(1, 5, Sign::kPositive).CheckOK();   // Bo ~ Fil
+  SignedGraph graph = std::move(builder.Build()).ValueOrDie();
+  std::printf("network: %s\n", graph.ToString().c_str());
+
+  // 2. Skills. 0=backend 1=frontend 2=design.
+  auto skills = std::move(SkillAssignment::Create(
+                              {{0}, {1}, {0, 2}, {2}, {1}, {2}}, 3))
+                    .ValueOrDie();
+
+  // 3. Compatibility: is Ana compatible with Eve? With Di?
+  auto oracle = MakeOracle(graph, CompatKind::kSPM);
+  std::printf("\ncompatibility under %s:\n", CompatKindName(oracle->kind()));
+  for (NodeId other : {4u, 3u}) {
+    std::printf("  Ana vs %-3s : %s (distance %u)\n", names[other],
+                oracle->Compatible(0, other) ? "compatible" : "INCOMPATIBLE",
+                oracle->Distance(0, other));
+  }
+
+  // 4. Form a team covering {backend, frontend, design} with the LCMD
+  //    algorithm (least-compatible skill first, min-distance user).
+  Rng rng(7);
+  SkillCompatibilityIndex index(oracle.get(), skills, /*sample_sources=*/0,
+                                &rng);
+  GreedyParams params;  // defaults are LCMD
+  GreedyTeamFormer former(oracle.get(), skills, &index, params);
+  Task task({0, 1, 2});
+  TeamResult team = former.Form(task, &rng);
+
+  if (!team.found) {
+    std::printf("\nno compatible team exists for this task\n");
+    return 1;
+  }
+  std::printf("\nteam found (diameter %u):\n", team.cost);
+  for (NodeId member : team.members) {
+    std::printf("  %-3s with skills:", names[member]);
+    for (SkillId s : skills.SkillsOf(member)) {
+      const char* skill_names[] = {"backend", "frontend", "design"};
+      std::printf(" %s", skill_names[s]);
+    }
+    std::printf("\n");
+  }
+
+  // 5. Sanity: the team covers the task and is pairwise compatible.
+  std::printf("\ncovers task: %s, pairwise compatible: %s\n",
+              TeamCoversTask(skills, task, team.members) ? "yes" : "no",
+              TeamCompatible(oracle.get(), team.members) ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,186 @@
+// tfsn_cli: command-line front end to the library.
+//
+//   tfsn_cli stats   --dataset=slashdot | --graph=g.edges
+//   tfsn_cli compat  --dataset=slashdot --u=3 --v=17 [--relation=spm]
+//   tfsn_cli team    --dataset=epinions --scale=0.05 --skills=1,4,9
+//                    [--relation=spm] [--algorithm=lcmd|lcmc|random] [--topk=3]
+//   tfsn_cli export  --dataset=wikipedia --out=wiki.edges --skills_out=wiki.skills
+//
+// Exit codes: 0 success, 1 usage error, 2 no team found.
+
+#include <cstdio>
+#include <string>
+
+#include "src/exp/experiments.h"
+#include "src/skills/skills_io.h"
+#include "src/tfsn.h"
+
+namespace {
+
+using namespace tfsn;
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tfsn_cli <stats|compat|team|export> [--dataset=name|"
+               "--graph=file] [options]\n"
+               "  stats                      dataset statistics\n"
+               "  compat --u=A --v=B         pair compatibility verdicts\n"
+               "  team --skills=1,2,3        form a team [--relation=spm]\n"
+               "       [--algorithm=lcmd]    lcmd|lcmc|random\n"
+               "       [--topk=K]            emit the K best teams\n"
+               "  export --out=F             write graph [--skills_out=G]\n");
+  return 1;
+}
+
+Dataset LoadInput(const Flags& flags) {
+  DatasetOptions options;
+  options.scale = flags.GetDouble("scale", 1.0);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 2020));
+  if (flags.Has("graph")) {
+    auto ds = LoadDatasetFromEdgeList(
+        flags.GetString("graph"),
+        static_cast<uint32_t>(flags.GetInt("num_skills", 500)), options);
+    ds.status().CheckOK();
+    return std::move(ds).ValueOrDie();
+  }
+  auto ds = MakeDatasetByName(flags.GetString("dataset", "slashdot"), options);
+  ds.status().CheckOK();
+  return std::move(ds).ValueOrDie();
+}
+
+CompatKind RelationOf(const Flags& flags) {
+  CompatKind kind = CompatKind::kSPM;
+  std::string name = flags.GetString("relation", "spm");
+  if (!ParseCompatKind(name, &kind)) {
+    std::fprintf(stderr, "unknown relation '%s'\n", name.c_str());
+    std::exit(1);
+  }
+  return kind;
+}
+
+int CmdStats(const Flags& flags) {
+  Dataset ds = LoadInput(flags);
+  Table1Row row = ComputeTable1Row(ds, 2000, 1);
+  std::printf("dataset   : %s\n", row.dataset.c_str());
+  std::printf("users     : %u\n", row.users);
+  std::printf("edges     : %llu (%llu negative, %.1f%%)\n",
+              static_cast<unsigned long long>(row.edges),
+              static_cast<unsigned long long>(row.neg_edges),
+              row.neg_fraction * 100.0);
+  std::printf("diameter  : %u%s\n", row.diameter,
+              row.diameter_exact ? "" : " (estimate)");
+  std::printf("skills    : %u\n", row.skills);
+  TriangleCensus census = CountTriangles(ds.graph);
+  std::printf("triangles : %llu (%.1f%% balanced)\n",
+              static_cast<unsigned long long>(census.total()),
+              census.balance_ratio() * 100.0);
+  std::printf("balanced  : %s\n",
+              CheckBalance(ds.graph).balanced ? "yes" : "no");
+  return 0;
+}
+
+int CmdCompat(const Flags& flags) {
+  if (!flags.Has("u") || !flags.Has("v")) return Usage();
+  Dataset ds = LoadInput(flags);
+  NodeId u = static_cast<NodeId>(flags.GetInt("u", 0));
+  NodeId v = static_cast<NodeId>(flags.GetInt("v", 0));
+  if (u >= ds.graph.num_nodes() || v >= ds.graph.num_nodes()) {
+    std::fprintf(stderr, "node out of range (n=%u)\n", ds.graph.num_nodes());
+    return 1;
+  }
+  std::printf("pair (%u, %u), plain distance %u\n", u, v,
+              BfsDistance(ds.graph, u, v));
+  for (CompatKind kind : AllCompatKinds()) {
+    if (kind == CompatKind::kSBP && ds.graph.num_nodes() > 2000) {
+      std::printf("  %-4s : skipped (graph too large for exact search)\n",
+                  CompatKindName(kind));
+      continue;
+    }
+    auto oracle = MakeOracle(ds.graph, kind);
+    bool ok = oracle->Compatible(u, v);
+    uint32_t d = oracle->Distance(u, v);
+    std::printf("  %-4s : %-12s distance %s\n", CompatKindName(kind),
+                ok ? "compatible" : "incompatible",
+                d == kUnreachable ? "inf" : std::to_string(d).c_str());
+  }
+  return 0;
+}
+
+int CmdTeam(const Flags& flags) {
+  if (!flags.Has("skills")) return Usage();
+  Dataset ds = LoadInput(flags);
+  std::vector<SkillId> wanted;
+  for (const std::string& tok : SplitCsv(flags.GetString("skills"))) {
+    wanted.push_back(static_cast<SkillId>(std::stoul(tok)));
+  }
+  Task task(wanted);
+  CompatKind kind = RelationOf(flags);
+  auto oracle = MakeOracle(ds.graph, kind);
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 7)));
+  SkillCompatibilityIndex index(
+      oracle.get(), ds.skills,
+      ds.graph.num_nodes() > 2000 ? 300 : 0, &rng);
+  GreedyParams params;
+  std::string algorithm = flags.GetString("algorithm", "lcmd");
+  if (algorithm == "lcmc") {
+    params.user_policy = UserPolicy::kMostCompatible;
+  } else if (algorithm == "random") {
+    params.user_policy = UserPolicy::kRandom;
+  } else if (algorithm != "lcmd") {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
+    return 1;
+  }
+  params.max_seeds = static_cast<uint32_t>(flags.GetInt("max_seeds", 25));
+  GreedyTeamFormer former(oracle.get(), ds.skills, &index, params);
+
+  uint32_t topk = static_cast<uint32_t>(flags.GetInt("topk", 1));
+  auto teams = former.FormTopK(task, topk, &rng);
+  if (teams.empty()) {
+    std::printf("no compatible team found under %s\n", CompatKindName(kind));
+    return 2;
+  }
+  for (size_t rank = 0; rank < teams.size(); ++rank) {
+    const TeamResult& team = teams[rank];
+    std::printf("team #%zu (diameter %u):", rank + 1, team.cost);
+    for (NodeId member : team.members) std::printf(" %u", member);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdExport(const Flags& flags) {
+  if (!flags.Has("out")) return Usage();
+  Dataset ds = LoadInput(flags);
+  WriteEdgeList(ds.graph, flags.GetString("out")).CheckOK();
+  std::printf("wrote %s\n", flags.GetString("out").c_str());
+  if (flags.Has("skills_out")) {
+    WriteSkills(ds.skills, flags.GetString("skills_out")).CheckOK();
+    std::printf("wrote %s\n", flags.GetString("skills_out").c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tfsn::Flags flags(argc, argv);
+  if (flags.passthrough().empty()) return Usage();
+  const std::string& command = flags.passthrough()[0];
+  if (command == "stats") return CmdStats(flags);
+  if (command == "compat") return CmdCompat(flags);
+  if (command == "team") return CmdTeam(flags);
+  if (command == "export") return CmdExport(flags);
+  return Usage();
+}

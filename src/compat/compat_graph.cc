@@ -1,0 +1,85 @@
+#include "src/compat/compat_graph.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace tfsn {
+
+CompatibilityMatrix CompatibilityMatrix::Build(CompatibilityOracle* oracle) {
+  CompatibilityMatrix m;
+  const uint32_t n = oracle->graph().num_nodes();
+  m.n_ = n;
+  m.bits_.assign(static_cast<size_t>(n) * n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto& row = oracle->GetRow(u);
+    for (NodeId v = 0; v < n; ++v) {
+      if (row.comp[v]) m.bits_[static_cast<size_t>(u) * n + v] = 1;
+    }
+    m.bits_[static_cast<size_t>(u) * n + u] = 1;
+  }
+  // Symmetric closure (SBPH rows are directional; the relation is the
+  // union of directions — see CompatibilityOracle::Compatible).
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      uint8_t either = m.bits_[static_cast<size_t>(u) * n + v] |
+                       m.bits_[static_cast<size_t>(v) * n + u];
+      m.bits_[static_cast<size_t>(u) * n + v] = either;
+      m.bits_[static_cast<size_t>(v) * n + u] = either;
+      m.pairs_ += either;
+    }
+  }
+  return m;
+}
+
+double CompatibilityMatrix::density() const {
+  if (n_ < 2) return 1.0;
+  double all = static_cast<double>(n_) * (n_ - 1) / 2.0;
+  return static_cast<double>(pairs_) / all;
+}
+
+uint32_t CompatibilityMatrix::CompatDegree(NodeId u) const {
+  TFSN_CHECK_LT(u, n_);
+  uint32_t degree = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    degree += v != u && Compatible(u, v);
+  }
+  return degree;
+}
+
+bool CompatibilityMatrix::IsClique(const std::vector<NodeId>& team) const {
+  for (size_t i = 0; i < team.size(); ++i) {
+    for (size_t j = i + 1; j < team.size(); ++j) {
+      if (!Compatible(team[i], team[j])) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<NodeId> CompatibilityMatrix::GreedyMaximalClique(
+    NodeId seed) const {
+  TFSN_CHECK_LT(seed, n_);
+  std::vector<NodeId> order(n_);
+  for (NodeId u = 0; u < n_; ++u) order[u] = u;
+  std::vector<uint32_t> degree(n_);
+  for (NodeId u = 0; u < n_; ++u) degree[u] = CompatDegree(u);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return degree[a] != degree[b] ? degree[a] > degree[b] : a < b;
+  });
+  std::vector<NodeId> clique{seed};
+  for (NodeId u : order) {
+    if (u == seed) continue;
+    bool fits = true;
+    for (NodeId member : clique) {
+      if (!Compatible(u, member)) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) clique.push_back(u);
+  }
+  std::sort(clique.begin(), clique.end());
+  return clique;
+}
+
+}  // namespace tfsn

@@ -1,0 +1,58 @@
+// Materialized compatibility graph.
+//
+// For a relation Comp on G, the compatibility graph H has the same nodes
+// and an (unsigned, represented all-positive) edge for every compatible
+// pair. Teams feasible for TFSNC are exactly the cliques of H that cover
+// the task — the view under which Theorem 2.2's hardness is natural. The
+// materialization is O(n^2) space and n row computations, so it is meant
+// for small-to-medium graphs; it also yields relation density statistics
+// and serves as a fast immutable oracle replacement for repeated
+// experiments on one graph.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/compat/compatibility.h"
+
+namespace tfsn {
+
+/// Dense symmetric bit-matrix of a compatibility relation.
+class CompatibilityMatrix {
+ public:
+  /// Materializes the relation by streaming all n oracle rows. For SBPH the
+  /// symmetric closure is materialized (matching
+  /// CompatibilityOracle::Compatible).
+  static CompatibilityMatrix Build(CompatibilityOracle* oracle);
+
+  uint32_t num_nodes() const { return n_; }
+
+  bool Compatible(NodeId u, NodeId v) const {
+    return bits_[static_cast<size_t>(u) * n_ + v] != 0;
+  }
+
+  /// Number of compatible unordered pairs (excluding self-pairs).
+  uint64_t num_compatible_pairs() const { return pairs_; }
+
+  /// Fraction of unordered pairs that are compatible.
+  double density() const;
+
+  /// Degree of u in the compatibility graph.
+  uint32_t CompatDegree(NodeId u) const;
+
+  /// Checks that a team is a clique of the compatibility graph.
+  bool IsClique(const std::vector<NodeId>& team) const;
+
+  /// Greedy maximal clique containing `seed` (by descending compat degree).
+  /// A lower bound witness for the largest compatible group around seed.
+  std::vector<NodeId> GreedyMaximalClique(NodeId seed) const;
+
+ private:
+  uint32_t n_ = 0;
+  uint64_t pairs_ = 0;
+  std::vector<uint8_t> bits_;  // n*n, symmetric, diagonal set
+};
+
+}  // namespace tfsn

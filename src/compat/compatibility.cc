@@ -1,0 +1,252 @@
+#include "src/compat/compatibility.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/compat/signed_bfs.h"
+#include "src/graph/bfs.h"
+#include "src/util/logging.h"
+
+namespace tfsn {
+
+const char* CompatKindName(CompatKind kind) {
+  switch (kind) {
+    case CompatKind::kDPE: return "DPE";
+    case CompatKind::kSPA: return "SPA";
+    case CompatKind::kSPM: return "SPM";
+    case CompatKind::kSPO: return "SPO";
+    case CompatKind::kSBPH: return "SBPH";
+    case CompatKind::kSBP: return "SBP";
+    case CompatKind::kNNE: return "NNE";
+  }
+  return "?";
+}
+
+bool ParseCompatKind(const std::string& name, CompatKind* out) {
+  std::string upper;
+  for (char c : name) upper += static_cast<char>(std::toupper(c));
+  for (CompatKind kind : AllCompatKinds()) {
+    if (upper == CompatKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<CompatKind> AllCompatKinds() {
+  return {CompatKind::kDPE,  CompatKind::kSPA, CompatKind::kSPM,
+          CompatKind::kSPO,  CompatKind::kSBPH, CompatKind::kSBP,
+          CompatKind::kNNE};
+}
+
+// ---------------------------------------------------------------------------
+// Base class: row cache
+// ---------------------------------------------------------------------------
+
+bool CompatibilityOracle::Compatible(NodeId u, NodeId v) {
+  if (u == v) return true;
+  return GetRow(u).comp[v] != 0;
+}
+
+uint32_t CompatibilityOracle::Distance(NodeId u, NodeId v) {
+  if (u == v) return 0;
+  return GetRow(u).dist[v];
+}
+
+const CompatibilityOracle::Row& CompatibilityOracle::GetRow(NodeId q) {
+  if (cache_index_.empty()) {
+    cache_index_.assign(graph_->num_nodes(), -1);
+  }
+  int32_t slot = cache_index_[q];
+  if (slot >= 0) return *cache_slots_[static_cast<size_t>(slot)].second;
+
+  ++rows_computed_;
+  auto row = std::make_unique<Row>(ComputeRow(q));
+  // Normalize reflexivity.
+  row->comp[q] = 1;
+  row->dist[q] = 0;
+
+  if (cache_slots_.size() < max_cached_rows_) {
+    cache_index_[q] = static_cast<int32_t>(cache_slots_.size());
+    cache_slots_.emplace_back(q, std::move(row));
+    return *cache_slots_.back().second;
+  }
+  // FIFO eviction over a fixed-size slot array.
+  size_t victim = eviction_cursor_;
+  eviction_cursor_ = (eviction_cursor_ + 1) % cache_slots_.size();
+  cache_index_[cache_slots_[victim].first] = -1;
+  cache_slots_[victim] = {q, std::move(row)};
+  cache_index_[q] = static_cast<int32_t>(victim);
+  return *cache_slots_[victim].second;
+}
+
+// ---------------------------------------------------------------------------
+// Concrete oracles
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// DPE: compatible iff a direct positive edge. Distance = hop distance.
+class DpeOracle final : public CompatibilityOracle {
+ public:
+  DpeOracle(const SignedGraph& g, const OracleParams& p)
+      : CompatibilityOracle(g, p.max_cached_rows) {}
+  CompatKind kind() const override { return CompatKind::kDPE; }
+
+ protected:
+  Row ComputeRow(NodeId q) override {
+    Row row;
+    row.dist = BfsDistances(graph(), q);
+    row.comp.assign(graph().num_nodes(), 0);
+    for (const Neighbor& nb : graph().Neighbors(q)) {
+      if (nb.sign == Sign::kPositive) row.comp[nb.to] = 1;
+    }
+    return row;
+  }
+};
+
+/// NNE: compatible iff no direct negative edge. Distance = hop distance.
+class NneOracle final : public CompatibilityOracle {
+ public:
+  NneOracle(const SignedGraph& g, const OracleParams& p)
+      : CompatibilityOracle(g, p.max_cached_rows) {}
+  CompatKind kind() const override { return CompatKind::kNNE; }
+
+ protected:
+  Row ComputeRow(NodeId q) override {
+    Row row;
+    row.dist = BfsDistances(graph(), q);
+    row.comp.assign(graph().num_nodes(), 1);
+    for (const Neighbor& nb : graph().Neighbors(q)) {
+      if (nb.sign == Sign::kNegative) row.comp[nb.to] = 0;
+    }
+    return row;
+  }
+};
+
+/// SPA / SPM / SPO: derived from Algorithm 1 counts.
+class SpOracle final : public CompatibilityOracle {
+ public:
+  SpOracle(const SignedGraph& g, CompatKind kind, const OracleParams& p)
+      : CompatibilityOracle(g, p.max_cached_rows), kind_(kind) {}
+  CompatKind kind() const override { return kind_; }
+
+ protected:
+  Row ComputeRow(NodeId q) override {
+    SignedBfsResult r = SignedShortestPathCount(graph(), q);
+    Row row;
+    row.dist = std::move(r.dist);
+    row.comp.assign(graph().num_nodes(), 0);
+    for (NodeId x = 0; x < graph().num_nodes(); ++x) {
+      if (row.dist[x] == kUnreachable) continue;
+      switch (kind_) {
+        case CompatKind::kSPA:
+          row.comp[x] = r.num_pos[x] > 0 && r.num_neg[x] == 0;
+          break;
+        case CompatKind::kSPM:
+          row.comp[x] = r.num_pos[x] >= r.num_neg[x];
+          break;
+        case CompatKind::kSPO:
+          row.comp[x] = r.num_pos[x] > 0;
+          break;
+        default:
+          TFSN_CHECK(false);
+      }
+    }
+    return row;
+  }
+
+ private:
+  CompatKind kind_;
+};
+
+/// SBPH: heuristic balanced-path search. Distance = shortest balanced
+/// positive path found by the heuristic.
+class SbphOracle final : public CompatibilityOracle {
+ public:
+  SbphOracle(const SignedGraph& g, const OracleParams& p)
+      : CompatibilityOracle(g, p.max_cached_rows),
+        max_depth_(p.sbph_max_depth) {}
+  CompatKind kind() const override { return CompatKind::kSBPH; }
+
+ protected:
+  Row ComputeRow(NodeId q) override {
+    SbphResult r = SbphFromSource(graph(), q, max_depth_);
+    Row row;
+    row.dist = std::move(r.pos_dist);
+    row.comp.assign(graph().num_nodes(), 0);
+    for (NodeId x = 0; x < graph().num_nodes(); ++x) {
+      row.comp[x] = row.dist[x] != kUnreachable;
+    }
+    return row;
+  }
+
+ public:
+  // The heuristic search is direction-dependent; the relation is defined as
+  // the symmetric closure so that the Comp axioms of Section 2 hold.
+  bool Compatible(NodeId u, NodeId v) override {
+    if (u == v) return true;
+    return GetRow(u).comp[v] != 0 || GetRow(v).comp[u] != 0;
+  }
+  uint32_t Distance(NodeId u, NodeId v) override {
+    if (u == v) return 0;
+    return std::min(GetRow(u).dist[v], GetRow(v).dist[u]);
+  }
+
+ private:
+  uint32_t max_depth_;
+};
+
+/// SBP: exact engine, one iterative-deepening search per target.
+class SbpOracle final : public CompatibilityOracle {
+ public:
+  SbpOracle(const SignedGraph& g, const OracleParams& p)
+      : CompatibilityOracle(g, p.max_cached_rows), search_(g, p.sbp) {}
+  CompatKind kind() const override { return CompatKind::kSBP; }
+
+ protected:
+  Row ComputeRow(NodeId q) override {
+    Row row;
+    const uint32_t n = graph().num_nodes();
+    row.comp.assign(n, 0);
+    row.dist.assign(n, kUnreachable);
+    for (NodeId x = 0; x < n; ++x) {
+      if (x == q) continue;
+      SbpPairResult r = search_.ShortestBalancedPath(q, x, Sign::kPositive);
+      if (r.length) {
+        row.comp[x] = 1;
+        row.dist[x] = *r.length;
+      }
+    }
+    return row;
+  }
+
+ private:
+  SbpExactSearch search_;
+};
+
+}  // namespace
+
+std::unique_ptr<CompatibilityOracle> MakeOracle(const SignedGraph& g,
+                                                CompatKind kind,
+                                                OracleParams params) {
+  switch (kind) {
+    case CompatKind::kDPE:
+      return std::make_unique<DpeOracle>(g, params);
+    case CompatKind::kNNE:
+      return std::make_unique<NneOracle>(g, params);
+    case CompatKind::kSPA:
+    case CompatKind::kSPM:
+    case CompatKind::kSPO:
+      return std::make_unique<SpOracle>(g, kind, params);
+    case CompatKind::kSBPH:
+      return std::make_unique<SbphOracle>(g, params);
+    case CompatKind::kSBP:
+      return std::make_unique<SbpOracle>(g, params);
+  }
+  TFSN_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace tfsn

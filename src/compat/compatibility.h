@@ -1,0 +1,131 @@
+// The compatibility relations of the paper (Section 3) behind one interface.
+//
+//   DPE  — direct positive edge            (Definition 3.1, strictest)
+//   SPA  — all shortest paths positive     (Definition 3.3)
+//   SPM  — majority of shortest paths positive
+//   SPO  — at least one positive shortest path
+//   SBPH — heuristic structurally-balanced-path compatibility
+//   SBP  — exact structurally-balanced-path compatibility (Definition 3.4)
+//   NNE  — no direct negative edge         (Definition 3.2, most relaxed)
+//
+// Proposition 3.5: DPE ⊆ SPA ⊆ SPM ⊆ SPO ⊆ SBP ⊆ NNE (and SBPH ⊆ SBP).
+//
+// Every relation satisfies the two axioms of Section 2: positive-edge
+// compatibility and negative-edge incompatibility, plus reflexivity and
+// symmetry.
+//
+// Distance semantics (paper Section 4): DPE/SPA/SPM/SPO use the shortest
+// path length (for compatible pairs a positive shortest path of that length
+// exists); SBP/SBPH use the length of the shortest structurally balanced
+// positive path; NNE uses the shortest path length ignoring signs.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/compat/sbp.h"
+#include "src/graph/signed_graph.h"
+
+namespace tfsn {
+
+/// Which compatibility relation an oracle implements.
+enum class CompatKind : uint8_t {
+  kDPE,
+  kSPA,
+  kSPM,
+  kSPO,
+  kSBPH,
+  kSBP,
+  kNNE,
+};
+
+/// Stable display name ("SPA", "SBPH", ...).
+const char* CompatKindName(CompatKind kind);
+
+/// Parses a name as produced by CompatKindName (case-insensitive).
+/// Returns false for unknown names.
+bool ParseCompatKind(const std::string& name, CompatKind* out);
+
+/// All kinds in relaxation order (DPE strictest ... NNE most relaxed,
+/// with SBPH just before SBP).
+std::vector<CompatKind> AllCompatKinds();
+
+/// Tuning knobs shared by the oracle implementations.
+struct OracleParams {
+  /// Per-source rows kept in the cache (FIFO eviction). A row costs
+  /// ~5 bytes per graph node.
+  size_t max_cached_rows = 2048;
+  /// Exact-SBP engine tuning (kSBP only).
+  SbpExactParams sbp;
+  /// Depth bound for the SBPH search (kSBPH only).
+  uint32_t sbph_max_depth = kUnreachable;
+};
+
+/// Query interface over one compatibility relation on one graph.
+///
+/// Implementations compute per-source "rows" (compatibility flag and
+/// distance to every node) lazily and cache them, so asking many queries
+/// from the same source is cheap. Not thread-safe.
+class CompatibilityOracle {
+ public:
+  /// A per-source result: flags and distances from a fixed query node to
+  /// every node in the graph.
+  struct Row {
+    /// comp[x] != 0 iff (source, x) is in the relation.
+    std::vector<uint8_t> comp;
+    /// Relation-specific distance (see file header); kUnreachable possible.
+    std::vector<uint32_t> dist;
+  };
+
+  virtual ~CompatibilityOracle() = default;
+
+  virtual CompatKind kind() const = 0;
+  const SignedGraph& graph() const { return *graph_; }
+
+  /// Membership test for (u, v); reflexive and symmetric. (For SBPH — whose
+  /// underlying heuristic search is direction-dependent — this is the
+  /// symmetric closure: compatible when either direction finds a balanced
+  /// positive path; both directions are sound w.r.t. exact SBP.)
+  virtual bool Compatible(NodeId u, NodeId v);
+
+  /// Relation-specific distance between u and v (0 when u == v).
+  virtual uint32_t Distance(NodeId u, NodeId v);
+
+  /// The full row for source q (computed on demand, cached). Note: for
+  /// SBPH the row is *directional* (paths searched from q), matching the
+  /// paper's per-source methodology; use Compatible()/Distance() for the
+  /// symmetric pair view.
+  const Row& GetRow(NodeId q);
+
+  /// Number of row computations performed (cache misses); for tests and
+  /// perf analysis.
+  uint64_t rows_computed() const { return rows_computed_; }
+
+ protected:
+  explicit CompatibilityOracle(const SignedGraph& g, size_t max_cached_rows)
+      : graph_(&g), max_cached_rows_(max_cached_rows) {}
+
+  /// Computes the row for source q. comp[q] / dist[q] entries for q itself
+  /// are normalized by the caller (reflexivity).
+  virtual Row ComputeRow(NodeId q) = 0;
+
+ private:
+  const SignedGraph* graph_;
+  size_t max_cached_rows_;
+  uint64_t rows_computed_ = 0;
+  std::vector<std::pair<NodeId, std::unique_ptr<Row>>> cache_slots_;
+  // Index into cache_slots_ per node; -1 when absent.
+  std::vector<int32_t> cache_index_;
+  size_t eviction_cursor_ = 0;
+};
+
+/// Creates the oracle for `kind` over `g`. The graph must outlive the
+/// oracle.
+std::unique_ptr<CompatibilityOracle> MakeOracle(const SignedGraph& g,
+                                                CompatKind kind,
+                                                OracleParams params = {});
+
+}  // namespace tfsn

@@ -1,0 +1,206 @@
+#include "src/compat/sbp.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/util/logging.h"
+
+namespace tfsn {
+
+// ---------------------------------------------------------------------------
+// Exact search
+// ---------------------------------------------------------------------------
+
+SbpExactSearch::SbpExactSearch(const SignedGraph& g, SbpExactParams params)
+    : g_(g), params_(params), node_side_(g.num_nodes(), 0) {}
+
+bool SbpExactSearch::ChordConsistent(NodeId x, int8_t side) const {
+  // Adaptive: either scan x's adjacency testing path membership via
+  // node_side_, or scan the path testing edges via binary search — whichever
+  // is cheaper for this node.
+  const auto nbrs = g_.Neighbors(x);
+  const size_t path_cost = path_.size() * 8;  // ~log(deg) per lookup
+  if (nbrs.size() <= path_cost) {
+    for (const Neighbor& nb : nbrs) {
+      int8_t other = node_side_[nb.to];
+      if (other == 0) continue;  // not on path
+      Sign expected = side * other > 0 ? Sign::kPositive : Sign::kNegative;
+      if (nb.sign != expected) return false;
+    }
+    return true;
+  }
+  for (NodeId y : path_) {
+    auto sign = g_.EdgeSign(x, y);
+    if (!sign) continue;
+    Sign expected = side * node_side_[y] > 0 ? Sign::kPositive : Sign::kNegative;
+    if (*sign != expected) return false;
+  }
+  return true;
+}
+
+bool SbpExactSearch::Dfs(NodeId v, Sign target_sign, uint32_t depth_left) {
+  if (exhausted_) return false;
+  NodeId u = path_.back();
+  if (++expansions_ > params_.expansion_budget) {
+    exhausted_ = true;
+    return false;
+  }
+  for (const Neighbor& nb : g_.Neighbors(u)) {
+    NodeId x = nb.to;
+    if (node_side_[x] != 0) continue;  // already on path (simple paths only)
+    if (depth_left == 0) continue;     // cannot extend
+    if (1 + dist_to_target_[x] > depth_left && x != v) continue;  // prune
+    int8_t side = nb.sign == Sign::kPositive ? node_side_[u]
+                                             : static_cast<int8_t>(-node_side_[u]);
+    if (x == v) {
+      // Path sign == +1 iff v lands on the source's side.
+      Sign path_sign = side > 0 ? Sign::kPositive : Sign::kNegative;
+      if (path_sign != target_sign) continue;
+      if (!ChordConsistent(x, side)) continue;
+      path_.push_back(x);
+      return true;
+    }
+    if (!ChordConsistent(x, side)) continue;
+    path_.push_back(x);
+    node_side_[x] = side;
+    if (Dfs(v, target_sign, depth_left - 1)) return true;
+    node_side_[x] = 0;
+    path_.pop_back();
+  }
+  return false;
+}
+
+SbpPairResult SbpExactSearch::ShortestBalancedPath(NodeId u, NodeId v,
+                                                   Sign target_sign) {
+  TFSN_CHECK_NE(u, v);
+  SbpPairResult result;
+  dist_to_target_ = BfsDistances(g_, v);
+  if (dist_to_target_[u] == kUnreachable) return result;  // disconnected
+  expansions_ = 0;
+  exhausted_ = false;
+  // Iterative deepening: the first depth at which a balanced path of the
+  // requested sign appears is, by construction, the minimum length.
+  for (uint32_t depth = std::max(1u, dist_to_target_[u]);
+       depth <= params_.max_depth; ++depth) {
+    path_.assign(1, u);
+    node_side_.assign(g_.num_nodes(), 0);
+    node_side_[u] = +1;
+    if (Dfs(v, target_sign, depth)) {
+      result.length = static_cast<uint32_t>(path_.size()) - 1;
+      result.witness = path_;
+      node_side_.assign(g_.num_nodes(), 0);
+      return result;
+    }
+    node_side_.assign(g_.num_nodes(), 0);
+    if (exhausted_) break;
+  }
+  result.exhausted = exhausted_;
+  return result;
+}
+
+bool SbpExactSearch::Compatible(NodeId u, NodeId v) {
+  if (u == v) return true;
+  return ShortestBalancedPath(u, v, Sign::kPositive).length.has_value();
+}
+
+// ---------------------------------------------------------------------------
+// SBPH heuristic
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// State index: node * 2 + (side == -1).
+inline size_t StateIndex(NodeId node, int8_t side) {
+  return static_cast<size_t>(node) * 2 + (side < 0 ? 1 : 0);
+}
+
+}  // namespace
+
+SbphResult SbphFromSource(const SignedGraph& g, NodeId q, uint32_t max_depth) {
+  const uint32_t n = g.num_nodes();
+  SbphResult out;
+  out.pos_dist.assign(n, kUnreachable);
+  out.neg_dist.assign(n, kUnreachable);
+  out.pos_dist[q] = 0;
+
+  // Label-setting BFS over (node, side) states. Each labelled state stores
+  // its parent state so the unique stored path can be reconstructed for the
+  // chord-consistency check (the "prefix property" heuristic: only one
+  // representative path per state is kept, so balanced paths whose prefixes
+  // are not themselves stored are missed — exactly the paper's SBPH).
+  constexpr uint32_t kNoParent = static_cast<uint32_t>(-1);
+  std::vector<uint32_t> dist(2 * static_cast<size_t>(n), kUnreachable);
+  std::vector<uint32_t> parent(2 * static_cast<size_t>(n), kNoParent);
+  const size_t root = StateIndex(q, +1);
+  dist[root] = 0;
+
+  std::deque<uint32_t> queue{static_cast<uint32_t>(root)};
+  std::vector<NodeId> path_nodes;     // reconstruction scratch
+  std::vector<int8_t> node_side(n, 0);  // side per path node, 0 = off path
+
+  while (!queue.empty()) {
+    uint32_t state = queue.front();
+    queue.pop_front();
+    NodeId u = static_cast<NodeId>(state / 2);
+    int8_t u_side = state % 2 == 0 ? +1 : -1;
+    if (dist[state] >= max_depth) continue;
+
+    // Reconstruct the stored path for this state and mark sides.
+    path_nodes.clear();
+    for (uint32_t s = state; s != kNoParent; s = parent[s]) {
+      NodeId node = static_cast<NodeId>(s / 2);
+      path_nodes.push_back(node);
+      node_side[node] = s % 2 == 0 ? +1 : -1;
+    }
+
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      NodeId x = nb.to;
+      if (node_side[x] != 0) continue;  // would repeat a path node
+      int8_t x_side = nb.sign == Sign::kPositive ? u_side
+                                                 : static_cast<int8_t>(-u_side);
+      size_t next = StateIndex(x, x_side);
+      if (dist[next] != kUnreachable) continue;  // already labelled
+
+      // Chord check: every edge from x into the stored path must match the
+      // sides. Adaptive direction as in the exact engine.
+      bool consistent = true;
+      const auto x_nbrs = g.Neighbors(x);
+      if (x_nbrs.size() <= path_nodes.size() * 8) {
+        for (const Neighbor& xn : x_nbrs) {
+          int8_t other = node_side[xn.to];
+          if (other == 0) continue;
+          Sign expected =
+              x_side * other > 0 ? Sign::kPositive : Sign::kNegative;
+          if (xn.sign != expected) {
+            consistent = false;
+            break;
+          }
+        }
+      } else {
+        for (NodeId y : path_nodes) {
+          auto sign = g.EdgeSign(x, y);
+          if (!sign) continue;
+          Sign expected =
+              x_side * node_side[y] > 0 ? Sign::kPositive : Sign::kNegative;
+          if (*sign != expected) {
+            consistent = false;
+            break;
+          }
+        }
+      }
+      if (!consistent) continue;
+
+      dist[next] = dist[state] + 1;
+      parent[next] = state;
+      queue.push_back(static_cast<uint32_t>(next));
+      auto& slot = x_side > 0 ? out.pos_dist[x] : out.neg_dist[x];
+      slot = std::min(slot, dist[next]);
+    }
+
+    // Unmark.
+    for (NodeId node : path_nodes) node_side[node] = 0;
+  }
+  return out;
+}
+
+}  // namespace tfsn

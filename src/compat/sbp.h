@@ -1,0 +1,95 @@
+// Structurally Balanced Path (SBP) compatibility — Definition 3.4.
+//
+// (u,v) are SBP-compatible iff some *positive* path P between them has a
+// structurally balanced induced subgraph G[P]. Balance of G[P] reduces to a
+// colouring test: walking P assigns each node a side (flip across negative
+// edges); G[P] is balanced iff every edge between path nodes has the sign
+// implied by its endpoints' sides. The check is incremental: when a search
+// appends node x to a balanced path P, only x's edges into P need checking.
+//
+// Two engines are provided:
+//  * SbpExactSearch — iterative-deepening DFS over simple paths. Finds the
+//    exact shortest balanced path of a requested sign, subject to a depth
+//    cap and an expansion budget (the exact problem is exponential; the
+//    paper also computes SBP only on the small Slashdot graph).
+//  * SbphFromSource — the paper's heuristic: a label-setting BFS over
+//    (node, side) states that keeps a single representative balanced path
+//    per state, i.e. only paths with the prefix property are counted.
+//    Figure 1(b) of the paper shows why this under-approximates SBP.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/graph/bfs.h"
+#include "src/graph/signed_graph.h"
+
+namespace tfsn {
+
+/// Tuning for the exact SBP search.
+struct SbpExactParams {
+  /// Maximum path length (edges) explored. Balanced paths longer than this
+  /// are not found; the paper's graphs have diameter <= 11.
+  uint32_t max_depth = 16;
+  /// Node-expansion budget per pair; the search reports `exhausted` when it
+  /// runs out (a "not found" answer is then inconclusive).
+  uint64_t expansion_budget = 2'000'000;
+};
+
+/// Outcome of an exact SBP query for one pair.
+struct SbpPairResult {
+  /// Length of the shortest balanced path of the requested sign, if found.
+  std::optional<uint32_t> length;
+  /// One witness path (node sequence, inclusive of endpoints) when found.
+  std::vector<NodeId> witness;
+  /// True if the expansion budget ran out before the space was exhausted.
+  bool exhausted = false;
+};
+
+/// Exact engine; holds per-instance scratch so repeated queries are cheap.
+/// Not thread-safe; use one instance per thread.
+class SbpExactSearch {
+ public:
+  explicit SbpExactSearch(const SignedGraph& g, SbpExactParams params = {});
+
+  /// Shortest structurally balanced path from u to v whose sign is
+  /// `target_sign`. Iterative deepening guarantees the returned length is
+  /// minimal among balanced paths of that sign (within the depth cap).
+  /// Requires u != v.
+  SbpPairResult ShortestBalancedPath(NodeId u, NodeId v, Sign target_sign);
+
+  /// SBP-compatibility: u == v, or a positive balanced u-v path exists.
+  bool Compatible(NodeId u, NodeId v);
+
+ private:
+  bool Dfs(NodeId v, Sign target_sign, uint32_t depth_left);
+  // Checks that appending x (with side `side`) keeps the induced subgraph
+  // balanced: every edge from x to a current path node must match the sides.
+  bool ChordConsistent(NodeId x, int8_t side) const;
+
+  const SignedGraph& g_;
+  SbpExactParams params_;
+  std::vector<NodeId> path_;
+  std::vector<int8_t> node_side_;         // node -> side if on path, else 0
+  std::vector<uint32_t> dist_to_target_;  // BFS lower bound for pruning
+  uint64_t expansions_ = 0;
+  bool exhausted_ = false;
+};
+
+/// Per-source output of the SBPH heuristic.
+struct SbphResult {
+  /// Shortest heuristically-found balanced positive path length per node;
+  /// kUnreachable when none was found.
+  std::vector<uint32_t> pos_dist;
+  /// Same for balanced negative paths.
+  std::vector<uint32_t> neg_dist;
+};
+
+/// Runs the SBPH label-setting search from `q`, exploring paths of at most
+/// `max_depth` edges (kUnreachable = unbounded).
+SbphResult SbphFromSource(const SignedGraph& g, NodeId q,
+                          uint32_t max_depth = kUnreachable);
+
+}  // namespace tfsn

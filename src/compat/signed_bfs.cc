@@ -1,0 +1,78 @@
+#include "src/compat/signed_bfs.h"
+
+#include <deque>
+#include <limits>
+
+namespace tfsn {
+
+namespace {
+
+constexpr uint64_t kSaturated = std::numeric_limits<uint64_t>::max();
+
+// a += b with saturation; reports saturation into *flag.
+inline void SatAdd(uint64_t* a, uint64_t b, bool* flag) {
+  if (*a > kSaturated - b) {
+    *a = kSaturated;
+    *flag = true;
+  } else {
+    *a += b;
+  }
+}
+
+}  // namespace
+
+SignedBfsResult SignedShortestPathCount(const SignedGraph& g, NodeId q) {
+  const uint32_t n = g.num_nodes();
+  SignedBfsResult r;
+  r.dist.assign(n, kUnreachable);
+  r.num_pos.assign(n, 0);
+  r.num_neg.assign(n, 0);
+  r.dist[q] = 0;
+  r.num_pos[q] = 1;  // the empty path is positive
+
+  std::deque<NodeId> queue{q};
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      NodeId x = nb.to;
+      if (r.dist[x] == kUnreachable) {
+        // First visit: x is on the next level.
+        r.dist[x] = r.dist[u] + 1;
+        queue.push_back(x);
+      }
+      if (r.dist[x] == r.dist[u] + 1) {
+        // (u,x) lies on a shortest path to x: propagate counts. A positive
+        // edge preserves each path's sign; a negative edge flips it.
+        if (nb.sign == Sign::kPositive) {
+          SatAdd(&r.num_pos[x], r.num_pos[u], &r.saturated);
+          SatAdd(&r.num_neg[x], r.num_neg[u], &r.saturated);
+        } else {
+          SatAdd(&r.num_neg[x], r.num_pos[u], &r.saturated);
+          SatAdd(&r.num_pos[x], r.num_neg[u], &r.saturated);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+bool IsSpaCompatible(const SignedGraph& g, NodeId u, NodeId v) {
+  if (u == v) return true;
+  SignedBfsResult r = SignedShortestPathCount(g, u);
+  return r.dist[v] != kUnreachable && r.num_pos[v] > 0 && r.num_neg[v] == 0;
+}
+
+bool IsSpmCompatible(const SignedGraph& g, NodeId u, NodeId v) {
+  if (u == v) return true;
+  SignedBfsResult r = SignedShortestPathCount(g, u);
+  return r.dist[v] != kUnreachable && r.num_pos[v] >= r.num_neg[v];
+}
+
+bool IsSpoCompatible(const SignedGraph& g, NodeId u, NodeId v) {
+  if (u == v) return true;
+  SignedBfsResult r = SignedShortestPathCount(g, u);
+  return r.dist[v] != kUnreachable && r.num_pos[v] > 0;
+}
+
+}  // namespace tfsn

@@ -1,0 +1,90 @@
+#include "src/compat/skill_index.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace tfsn {
+
+SkillCompatibilityIndex::SkillCompatibilityIndex(
+    CompatibilityOracle* oracle, const SkillAssignment& skills,
+    uint32_t sample_sources, Rng* rng) {
+  const SignedGraph& g = oracle->graph();
+  const uint32_t n = g.num_nodes();
+  TFSN_CHECK_EQ(skills.num_users(), n);
+  num_skills_ = skills.num_skills();
+  counts_.assign(static_cast<size_t>(num_skills_) * num_skills_, 0);
+  witnessed_.assign(static_cast<size_t>(num_skills_) * num_skills_, 0);
+  degree_.assign(num_skills_, 0);
+  skill_nonempty_.assign(num_skills_, 0);
+  for (SkillId s = 0; s < num_skills_; ++s) {
+    skill_nonempty_[s] = skills.Frequency(s) > 0;
+  }
+
+  std::vector<uint32_t> sources;
+  if (sample_sources == 0 || sample_sources >= n) {
+    sources.resize(n);
+    for (uint32_t u = 0; u < n; ++u) sources[u] = u;
+  } else {
+    TFSN_CHECK(rng != nullptr);
+    sources = rng->SampleWithoutReplacement(n, sample_sources);
+  }
+  sources_used_ = static_cast<uint32_t>(sources.size());
+
+  for (uint32_t u : sources) {
+    const auto& row = oracle->GetRow(u);
+    auto u_skills = skills.SkillsOf(u);
+    if (u_skills.empty()) continue;
+    for (NodeId v = 0; v < n; ++v) {
+      bool compatible = row.comp[v] != 0;
+      for (SkillId s : u_skills) {
+        for (SkillId t : skills.SkillsOf(v)) {
+          ++witnessed_[static_cast<size_t>(s) * num_skills_ + t];
+          if (compatible) ++counts_[static_cast<size_t>(s) * num_skills_ + t];
+        }
+      }
+    }
+  }
+  // Symmetrize: the relation is symmetric but a sampled source set sees
+  // each pair from one side only.
+  for (SkillId s = 0; s < num_skills_; ++s) {
+    for (SkillId t = s + 1; t < num_skills_; ++t) {
+      size_t st = static_cast<size_t>(s) * num_skills_ + t;
+      size_t ts = static_cast<size_t>(t) * num_skills_ + s;
+      counts_[st] = counts_[ts] = counts_[st] + counts_[ts];
+      witnessed_[st] = witnessed_[ts] = witnessed_[st] + witnessed_[ts];
+    }
+  }
+  for (SkillId s = 0; s < num_skills_; ++s) {
+    for (SkillId t = 0; t < num_skills_; ++t) {
+      if (t != s) degree_[s] += counts_[static_cast<size_t>(s) * num_skills_ + t];
+    }
+  }
+}
+
+uint64_t SkillCompatibilityIndex::PairCount(SkillId s, SkillId t) const {
+  TFSN_CHECK_LT(s, num_skills_);
+  TFSN_CHECK_LT(t, num_skills_);
+  return counts_[static_cast<size_t>(s) * num_skills_ + t];
+}
+
+double SkillCompatibilityIndex::CompatibleSkillPairFraction() const {
+  uint64_t eligible = 0;
+  uint64_t compatible = 0;
+  for (SkillId s = 0; s < num_skills_; ++s) {
+    if (!skill_nonempty_[s]) continue;
+    for (SkillId t = s + 1; t < num_skills_; ++t) {
+      if (!skill_nonempty_[t]) continue;
+      // Only pairs the (possibly sampled) build actually examined count
+      // towards the denominator.
+      if (witnessed_[static_cast<size_t>(s) * num_skills_ + t] == 0) continue;
+      ++eligible;
+      compatible += SkillsCompatible(s, t);
+    }
+  }
+  return eligible == 0 ? 1.0
+                       : static_cast<double>(compatible) /
+                             static_cast<double>(eligible);
+}
+
+}  // namespace tfsn

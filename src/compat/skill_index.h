@@ -1,0 +1,68 @@
+// Skill-compatibility degrees (paper Section 4 and Table 2).
+//
+// cd(s, t) = |{(u, v) : (u, v) ∈ Comp, s ∈ skills(u), t ∈ skills(v)}| and
+// cd(s) = Σ_{t ≠ s} cd(s, t). The "least compatible skill first" policy
+// orders skills by cd(s); Table 2's "comp. skills" row is the fraction of
+// skill pairs with cd(s, t) > 0; Figure 2(a)'s MAX bound marks tasks whose
+// skill pairs are all compatible.
+//
+// Exact computation needs the full pairwise relation. On large graphs the
+// index is built from a sample of source users, which under-counts cd but
+// preserves ordering and the existence test with high probability; pass
+// sample_sources = 0 for the exact all-sources build.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/compat/compatibility.h"
+#include "src/skills/skills.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+
+/// Precomputed cd(s, t) table for one (graph, skills, relation) triple.
+class SkillCompatibilityIndex {
+ public:
+  /// Builds the index by streaming oracle rows from `sample_sources`
+  /// uniformly sampled users (0 = every user; exact). Self-pairs (u, u)
+  /// count, matching the paper's "including self-compatibility".
+  SkillCompatibilityIndex(CompatibilityOracle* oracle,
+                          const SkillAssignment& skills,
+                          uint32_t sample_sources, Rng* rng);
+
+  uint32_t num_skills() const { return num_skills_; }
+
+  /// cd(s, t): (sampled) count of compatible user pairs covering (s, t).
+  uint64_t PairCount(SkillId s, SkillId t) const;
+
+  /// True iff cd(s, t) > 0 in the (sampled) relation.
+  bool SkillsCompatible(SkillId s, SkillId t) const {
+    return PairCount(s, t) > 0;
+  }
+
+  /// cd(s) = Σ_{t ≠ s} cd(s, t).
+  uint64_t Degree(SkillId s) const { return degree_[s]; }
+
+  /// Fraction of unordered skill pairs {s, t}, s != t, with cd > 0 —
+  /// Table 2's "comp. skills" row. With a sampled build the denominator is
+  /// restricted to pairs *witnessed* by the sample (some holder pair was
+  /// examined), so the estimate is not biased towards zero by unseen pairs;
+  /// with a full build every pair of non-empty skills is witnessed and the
+  /// value is exact.
+  double CompatibleSkillPairFraction() const;
+
+  /// Number of sources the index was built from.
+  uint32_t sources_used() const { return sources_used_; }
+
+ private:
+  uint32_t num_skills_ = 0;
+  uint32_t sources_used_ = 0;
+  std::vector<uint64_t> counts_;     // compatible pairs, num_skills^2
+  std::vector<uint64_t> witnessed_;  // examined pairs, num_skills^2
+  std::vector<uint64_t> degree_;
+  std::vector<uint8_t> skill_nonempty_;
+};
+
+}  // namespace tfsn

@@ -1,0 +1,108 @@
+#include "src/compat/stats.h"
+
+#include "src/graph/bfs.h"
+#include "src/util/logging.h"
+#include "src/util/parallel.h"
+
+namespace tfsn {
+
+namespace {
+
+// Shared source-selection logic so the serial and parallel versions see the
+// same source sets for the same seed.
+std::vector<uint32_t> PickSources(uint32_t n, uint32_t sample_sources,
+                                  Rng* rng) {
+  std::vector<uint32_t> sources;
+  if (sample_sources == 0 || sample_sources >= n) {
+    sources.resize(n);
+    for (uint32_t u = 0; u < n; ++u) sources[u] = u;
+  } else {
+    TFSN_CHECK(rng != nullptr);
+    sources = rng->SampleWithoutReplacement(n, sample_sources);
+  }
+  return sources;
+}
+
+// Aggregates one row into the running totals.
+struct PairAccumulator {
+  uint64_t pairs_seen = 0;
+  uint64_t pairs_compatible = 0;
+  double dist_sum = 0.0;
+  uint64_t dist_count = 0;
+
+  void Consume(const CompatibilityOracle::Row& row, NodeId source) {
+    for (NodeId v = 0; v < row.comp.size(); ++v) {
+      if (v == source) continue;
+      ++pairs_seen;
+      if (!row.comp[v]) continue;
+      ++pairs_compatible;
+      if (row.dist[v] != kUnreachable) {
+        dist_sum += row.dist[v];
+        ++dist_count;
+      }
+    }
+  }
+  void Merge(const PairAccumulator& other) {
+    pairs_seen += other.pairs_seen;
+    pairs_compatible += other.pairs_compatible;
+    dist_sum += other.dist_sum;
+    dist_count += other.dist_count;
+  }
+  CompatPairStats Finish(uint32_t sources_used) const {
+    CompatPairStats stats;
+    stats.pairs_seen = pairs_seen;
+    stats.pairs_compatible = pairs_compatible;
+    stats.sources_used = sources_used;
+    stats.compatible_fraction =
+        pairs_seen == 0 ? 0.0
+                        : static_cast<double>(pairs_compatible) /
+                              static_cast<double>(pairs_seen);
+    stats.avg_distance =
+        dist_count == 0 ? 0.0 : dist_sum / static_cast<double>(dist_count);
+    return stats;
+  }
+};
+
+}  // namespace
+
+CompatPairStats ComputeCompatPairStats(CompatibilityOracle* oracle,
+                                       uint32_t sample_sources, Rng* rng) {
+  const SignedGraph& g = oracle->graph();
+  std::vector<uint32_t> sources =
+      PickSources(g.num_nodes(), sample_sources, rng);
+  PairAccumulator acc;
+  for (uint32_t u : sources) {
+    acc.Consume(oracle->GetRow(u), u);
+  }
+  return acc.Finish(static_cast<uint32_t>(sources.size()));
+}
+
+CompatPairStats ComputeCompatPairStatsParallel(const SignedGraph& g,
+                                               CompatKind kind,
+                                               const OracleParams& params,
+                                               uint32_t sample_sources,
+                                               uint64_t seed,
+                                               uint32_t threads) {
+  Rng rng(seed);
+  std::vector<uint32_t> sources =
+      PickSources(g.num_nodes(), sample_sources, &rng);
+  threads = ResolveThreads(threads);
+  std::vector<PairAccumulator> partial(threads);
+  ParallelFor(sources.size(), threads,
+              [&](uint32_t worker, uint64_t begin, uint64_t end) {
+                // Each worker owns a private oracle; rows are independent.
+                OracleParams local = params;
+                // Workers see a slice once each: a big cache buys nothing.
+                local.max_cached_rows = 2;
+                auto oracle = MakeOracle(g, kind, local);
+                for (uint64_t i = begin; i < end; ++i) {
+                  partial[worker].Consume(oracle->GetRow(sources[i]),
+                                          sources[i]);
+                }
+              });
+  PairAccumulator total;
+  for (const PairAccumulator& p : partial) total.Merge(p);
+  return total.Finish(static_cast<uint32_t>(sources.size()));
+}
+
+}  // namespace tfsn

@@ -1,0 +1,43 @@
+// Pairwise compatibility statistics — the "comp. users" and "avg distance"
+// rows of Table 2.
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/compat/compatibility.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+
+/// Aggregate statistics of one compatibility relation on one graph.
+struct CompatPairStats {
+  /// Fraction of ordered (u, v), u != v, pairs in the relation, estimated
+  /// from the sampled sources (exact when all sources are used).
+  double compatible_fraction = 0.0;
+  /// Mean relation distance over compatible pairs with finite distance.
+  double avg_distance = 0.0;
+  /// Pairs sampled / compatible among them (for confidence reporting).
+  uint64_t pairs_seen = 0;
+  uint64_t pairs_compatible = 0;
+  uint32_t sources_used = 0;
+};
+
+/// Streams oracle rows from `sample_sources` random sources (0 = all
+/// sources, exact) and aggregates pair statistics.
+CompatPairStats ComputeCompatPairStats(CompatibilityOracle* oracle,
+                                       uint32_t sample_sources, Rng* rng);
+
+/// Multi-threaded variant: splits the source set across `threads` workers,
+/// each owning a private oracle (the oracles themselves are not
+/// thread-safe). Produces the same statistics as the serial version for
+/// the same (kind, params, sources, seed). threads == 0 uses the hardware
+/// concurrency.
+CompatPairStats ComputeCompatPairStatsParallel(const SignedGraph& g,
+                                               CompatKind kind,
+                                               const OracleParams& params,
+                                               uint32_t sample_sources,
+                                               uint64_t seed,
+                                               uint32_t threads = 0);
+
+}  // namespace tfsn

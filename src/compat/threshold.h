@@ -1,0 +1,32 @@
+// Threshold (fractional) shortest-path compatibility — a continuous
+// generalization of the paper's SP relations.
+//
+// Define score(u,v) = N+(u,v) / (N+(u,v) + N-(u,v)), the fraction of
+// positive shortest paths (Algorithm 1 counts). Then:
+//   * SPO  ⇔ score > 0
+//   * SPM  ⇔ score >= 1/2
+//   * SPA  ⇔ score = 1
+// A threshold θ ∈ [0,1] interpolates between them: Comp_θ = {(u,v) :
+// score(u,v) >= θ}, with θ=0 mapped to "score > 0" so that negative-edge
+// incompatibility still holds. This realizes the paper's future-work theme
+// of combining compatibility strength with cost in finer ways, and powers
+// the θ-sweep ablation bench.
+
+#pragma once
+
+#include <memory>
+
+#include "src/compat/compatibility.h"
+
+namespace tfsn {
+
+/// Fraction of positive shortest paths between u and v in [0,1]; 0 when
+/// disconnected. Runs Algorithm 1 from u.
+double PositivePathScore(const SignedGraph& g, NodeId u, NodeId v);
+
+/// Oracle for Comp_θ (see file comment). θ is clamped to [0,1].
+/// θ <= 0 degenerates to SPO, θ == 0.5 to SPM, θ >= 1 to SPA.
+std::unique_ptr<CompatibilityOracle> MakeThresholdOracle(
+    const SignedGraph& g, double theta, OracleParams params = {});
+
+}  // namespace tfsn

@@ -1,0 +1,106 @@
+#include "src/data/datasets.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/gen/generators.h"
+#include "src/graph/components.h"
+#include "src/graph/graph_io.h"
+#include "src/skills/skill_generator.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+
+namespace {
+
+struct Recipe {
+  uint32_t users;
+  uint64_t edges;
+  double negative_fraction;
+  uint32_t num_skills;
+  bool heavy_tailed;  // preferential attachment vs uniform G(n,m)
+};
+
+Dataset MakeFromRecipe(const std::string& name, const Recipe& recipe,
+                       const DatasetOptions& options) {
+  TFSN_CHECK_GT(options.scale, 0.0);
+  TFSN_CHECK_LE(options.scale, 1.0);
+  uint32_t n = std::max<uint32_t>(
+      4, static_cast<uint32_t>(recipe.users * options.scale));
+  uint64_t m = std::max<uint64_t>(
+      n, static_cast<uint64_t>(recipe.edges * options.scale));
+  m = std::min(m, static_cast<uint64_t>(n) * (n - 1) / 2);
+
+  Rng rng(options.seed ^ (static_cast<uint64_t>(n) << 20) ^ m);
+  Dataset ds;
+  ds.name = name;
+  ds.graph = recipe.heavy_tailed
+                 ? RandomPreferentialAttachment(n, m, recipe.negative_fraction,
+                                                &rng)
+                 : RandomConnectedGnm(n, m, recipe.negative_fraction, &rng);
+  ZipfSkillParams skill_params;
+  skill_params.num_skills = recipe.num_skills;
+  skill_params.mean_skills_per_user = options.mean_skills_per_user;
+  ds.skills = ZipfSkills(n, skill_params, &rng);
+  return ds;
+}
+
+}  // namespace
+
+Dataset MakeSlashdot(const DatasetOptions& options) {
+  return MakeFromRecipe(
+      "Slashdot",
+      {.users = 214, .edges = 304, .negative_fraction = 0.292,
+       .num_skills = 1024, .heavy_tailed = false},
+      options);
+}
+
+Dataset MakeEpinions(const DatasetOptions& options) {
+  return MakeFromRecipe(
+      "Epinions",
+      {.users = 28854, .edges = 208778, .negative_fraction = 0.167,
+       .num_skills = 523, .heavy_tailed = true},
+      options);
+}
+
+Dataset MakeWikipedia(const DatasetOptions& options) {
+  return MakeFromRecipe(
+      "Wikipedia",
+      {.users = 7066, .edges = 100790, .negative_fraction = 0.215,
+       .num_skills = 500, .heavy_tailed = true},
+      options);
+}
+
+Result<Dataset> MakeDatasetByName(const std::string& name,
+                                  const DatasetOptions& options) {
+  std::string lower;
+  for (char c : name) lower += static_cast<char>(std::tolower(c));
+  if (lower == "slashdot") return MakeSlashdot(options);
+  if (lower == "epinions") return MakeEpinions(options);
+  if (lower == "wikipedia") return MakeWikipedia(options);
+  return Status::NotFound("unknown dataset '" + name +
+                          "'; expected slashdot|epinions|wikipedia");
+}
+
+std::vector<std::string> DatasetNames() {
+  return {"slashdot", "epinions", "wikipedia"};
+}
+
+Result<Dataset> LoadDatasetFromEdgeList(const std::string& path,
+                                        uint32_t num_skills,
+                                        const DatasetOptions& options) {
+  TFSN_ASSIGN_OR_RETURN(SignedGraph raw, LoadEdgeList(path));
+  SubgraphMapping lcc = LargestComponentSubgraph(raw);
+  Dataset ds;
+  ds.name = path;
+  ds.graph = std::move(lcc.graph);
+  Rng rng(options.seed);
+  ZipfSkillParams skill_params;
+  skill_params.num_skills = num_skills;
+  skill_params.mean_skills_per_user = options.mean_skills_per_user;
+  ds.skills = ZipfSkills(ds.graph.num_nodes(), skill_params, &rng);
+  return ds;
+}
+
+}  // namespace tfsn

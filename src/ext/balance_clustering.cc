@@ -1,0 +1,80 @@
+#include "src/ext/balance_clustering.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace tfsn {
+
+namespace {
+
+// Gain (reduction in frustration) from flipping node u given sides.
+int64_t FlipGain(const SignedGraph& g, const std::vector<Side>& side,
+                 NodeId u) {
+  int64_t frustrated = 0, satisfied = 0;
+  for (const Neighbor& nb : g.Neighbors(u)) {
+    bool same = side[u] == side[nb.to];
+    bool bad = (same && nb.sign == Sign::kNegative) ||
+               (!same && nb.sign == Sign::kPositive);
+    bad ? ++frustrated : ++satisfied;
+  }
+  return frustrated - satisfied;
+}
+
+}  // namespace
+
+FactionClustering ClusterFactions(const SignedGraph& g,
+                                  const ClusteringOptions& options) {
+  FactionClustering best;
+  BalanceCheck check = CheckBalance(g);
+  if (check.balanced) {
+    best.side = std::move(check.side);
+    if (best.side.empty()) best.side.assign(g.num_nodes(), +1);
+    best.frustration = 0;
+    best.exact = true;
+    return best;
+  }
+
+  Rng rng(options.seed);
+  best.frustration = ~0ULL;
+  for (uint32_t restart = 0; restart < std::max(1u, options.restarts);
+       ++restart) {
+    ++best.restarts_used;
+    std::vector<Side> side(g.num_nodes());
+    for (Side& s : side) s = rng.NextBool(0.5) ? +1 : -1;
+    // First-improvement sweeps until a full pass makes no flip.
+    for (uint32_t pass = 0; pass < options.max_passes; ++pass) {
+      bool improved = false;
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (FlipGain(g, side, u) > 0) {
+          side[u] = static_cast<Side>(-side[u]);
+          improved = true;
+        }
+      }
+      if (!improved) break;
+    }
+    uint64_t frustration = Frustration(g, side);
+    if (frustration < best.frustration) {
+      best.frustration = frustration;
+      best.side = std::move(side);
+    }
+  }
+  return best;
+}
+
+double PolarizationScore(const SignedGraph& g,
+                         const FactionClustering& clustering) {
+  if (g.num_edges() == 0) return 1.0;
+  return 1.0 - static_cast<double>(clustering.frustration) /
+                   static_cast<double>(g.num_edges());
+}
+
+double FactionImbalance(const FactionClustering& clustering) {
+  if (clustering.side.empty()) return 0.5;
+  uint64_t plus = 0;
+  for (Side s : clustering.side) plus += s > 0;
+  double frac = static_cast<double>(plus) / clustering.side.size();
+  return std::max(frac, 1.0 - frac);
+}
+
+}  // namespace tfsn

@@ -1,0 +1,117 @@
+#include "src/ext/sign_prediction.h"
+
+#include "src/compat/sbp.h"
+#include "src/compat/signed_bfs.h"
+#include "src/graph/graph_builder.h"
+
+namespace tfsn {
+
+const char* SignPredictorName(SignPredictor p) {
+  switch (p) {
+    case SignPredictor::kMajorityShortestPath: return "MajoritySP";
+    case SignPredictor::kTriadBalance: return "TriadBalance";
+    case SignPredictor::kSbph: return "SBPH";
+  }
+  return "?";
+}
+
+SignedGraph RemoveEdge(const SignedGraph& g, NodeId u, NodeId v) {
+  SignedGraphBuilder builder(g.num_nodes());
+  for (NodeId a = 0; a < g.num_nodes(); ++a) {
+    for (const Neighbor& nb : g.Neighbors(a)) {
+      if (a >= nb.to) continue;
+      if ((a == u && nb.to == v) || (a == v && nb.to == u)) continue;
+      builder.AddEdge(a, nb.to, nb.sign).CheckOK();
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+namespace {
+
+std::optional<Sign> PredictByMajoritySp(const SignedGraph& g, NodeId u,
+                                        NodeId v) {
+  SignedBfsResult r = SignedShortestPathCount(g, u);
+  if (r.dist[v] == kUnreachable) return std::nullopt;
+  if (r.num_pos[v] == r.num_neg[v]) return std::nullopt;  // tie: abstain
+  return r.num_pos[v] > r.num_neg[v] ? Sign::kPositive : Sign::kNegative;
+}
+
+std::optional<Sign> PredictByTriads(const SignedGraph& g, NodeId u, NodeId v) {
+  // Merge-intersect the sorted adjacency lists; each common neighbour votes
+  // with the product of its two edge signs (balance-theory closure).
+  auto nu = g.Neighbors(u);
+  auto nv = g.Neighbors(v);
+  int64_t vote = 0;
+  size_t i = 0, j = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i].to < nv[j].to) {
+      ++i;
+    } else if (nu[i].to > nv[j].to) {
+      ++j;
+    } else {
+      vote += static_cast<int64_t>(static_cast<int8_t>(nu[i].sign)) *
+              static_cast<int8_t>(nv[j].sign);
+      ++i;
+      ++j;
+    }
+  }
+  if (vote == 0) return std::nullopt;
+  return vote > 0 ? Sign::kPositive : Sign::kNegative;
+}
+
+std::optional<Sign> PredictBySbph(const SignedGraph& g, NodeId u, NodeId v) {
+  SbphResult r = SbphFromSource(g, u);
+  bool pos = r.pos_dist[v] != kUnreachable;
+  bool neg = r.neg_dist[v] != kUnreachable;
+  if (pos == neg) {
+    // Both or neither reachable: fall back to which is *closer*.
+    if (pos && r.pos_dist[v] != r.neg_dist[v]) {
+      return r.pos_dist[v] < r.neg_dist[v] ? Sign::kPositive
+                                           : Sign::kNegative;
+    }
+    return std::nullopt;
+  }
+  return pos ? Sign::kPositive : Sign::kNegative;
+}
+
+}  // namespace
+
+std::optional<Sign> PredictSign(const SignedGraph& g, NodeId u, NodeId v,
+                                SignPredictor predictor) {
+  switch (predictor) {
+    case SignPredictor::kMajorityShortestPath:
+      return PredictByMajoritySp(g, u, v);
+    case SignPredictor::kTriadBalance:
+      return PredictByTriads(g, u, v);
+    case SignPredictor::kSbph:
+      return PredictBySbph(g, u, v);
+  }
+  return std::nullopt;
+}
+
+SignPredictionReport EvaluateSignPredictor(const SignedGraph& g,
+                                           SignPredictor predictor,
+                                           uint32_t samples, Rng* rng) {
+  SignPredictionReport report;
+  std::vector<SignedEdge> edges = g.Edges();
+  if (edges.empty()) return report;
+  samples = std::min<uint32_t>(samples, static_cast<uint32_t>(edges.size()));
+  std::vector<uint32_t> picks = rng->SampleWithoutReplacement(
+      static_cast<uint32_t>(edges.size()), samples);
+  for (uint32_t p : picks) {
+    const SignedEdge& e = edges[p];
+    SignedGraph hidden = RemoveEdge(g, e.u, e.v);
+    std::optional<Sign> prediction =
+        PredictSign(hidden, e.u, e.v, predictor);
+    if (!prediction) {
+      ++report.abstained;
+      continue;
+    }
+    ++report.evaluated;
+    report.correct += *prediction == e.sign;
+  }
+  return report;
+}
+
+}  // namespace tfsn

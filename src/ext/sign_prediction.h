@@ -1,0 +1,61 @@
+// Edge-sign prediction from compatibility — the paper's Section 7 suggests
+// "exploit[ing] compatibility for other tasks, such as link prediction".
+//
+// Given a signed graph with one edge hidden, predict the hidden edge's sign
+// from the structure of the remaining graph. Three predictors:
+//   * kMajorityShortestPath — Algorithm 1 counts on the graph minus the
+//     edge; predict positive iff positive shortest paths are the majority
+//     (the SPM criterion as a predictor, cf. Leskovec et al.).
+//   * kTriadBalance — status-free structural balance vote: each common
+//     neighbour w of (u,v) votes sign(u,w)*sign(w,v); majority wins
+//     (classic balance-theory heuristic).
+//   * kSbph — predict positive iff a balanced positive path exists in the
+//     graph minus the edge (SBPH reachability).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/graph/signed_graph.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+
+/// Available sign predictors.
+enum class SignPredictor : uint8_t {
+  kMajorityShortestPath,
+  kTriadBalance,
+  kSbph,
+};
+
+const char* SignPredictorName(SignPredictor p);
+
+/// Predicts the sign of the (absent or hidden) pair (u, v) from the rest of
+/// the graph. Returns nullopt when the predictor has no evidence (e.g. no
+/// common neighbours / no paths). `g` must not contain the edge itself;
+/// hide it first with RemoveEdge() below.
+std::optional<Sign> PredictSign(const SignedGraph& g, NodeId u, NodeId v,
+                                SignPredictor predictor);
+
+/// Copy of `g` without the (u, v) edge (no-op if absent).
+SignedGraph RemoveEdge(const SignedGraph& g, NodeId u, NodeId v);
+
+/// Leave-one-out evaluation: hides `samples` random edges one at a time and
+/// scores each predictor's accuracy on them.
+struct SignPredictionReport {
+  uint64_t evaluated = 0;   ///< edges with a prediction
+  uint64_t correct = 0;
+  uint64_t abstained = 0;   ///< edges where the predictor had no evidence
+  double accuracy() const {
+    return evaluated == 0 ? 0.0
+                          : static_cast<double>(correct) /
+                                static_cast<double>(evaluated);
+  }
+};
+
+SignPredictionReport EvaluateSignPredictor(const SignedGraph& g,
+                                           SignPredictor predictor,
+                                           uint32_t samples, Rng* rng);
+
+}  // namespace tfsn

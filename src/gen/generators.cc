@@ -1,0 +1,177 @@
+#include "src/gen/generators.h"
+
+#include <unordered_set>
+
+#include "src/graph/graph_builder.h"
+#include "src/util/logging.h"
+
+namespace tfsn {
+
+namespace {
+
+uint64_t EdgeKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+// Adds a uniformly random spanning tree over [0, n): each node i >= 1
+// attaches to a uniform previous node (random recursive tree).
+void AddRandomTree(uint32_t n, Rng* rng,
+                   std::vector<std::pair<NodeId, NodeId>>* edges,
+                   std::unordered_set<uint64_t>* used) {
+  for (uint32_t i = 1; i < n; ++i) {
+    NodeId parent = static_cast<NodeId>(rng->NextBounded(i));
+    edges->push_back({parent, i});
+    used->insert(EdgeKey(parent, i));
+  }
+}
+
+// Preferential-attachment tree: node i >= 1 attaches to a node sampled
+// proportionally to (degree + 1) among nodes [0, i).
+void AddPreferentialTree(uint32_t n, Rng* rng,
+                         std::vector<std::pair<NodeId, NodeId>>* edges,
+                         std::unordered_set<uint64_t>* used,
+                         std::vector<NodeId>* endpoint_pool) {
+  endpoint_pool->push_back(0);
+  for (uint32_t i = 1; i < n; ++i) {
+    NodeId parent =
+        (*endpoint_pool)[rng->NextBounded(endpoint_pool->size())];
+    edges->push_back({parent, i});
+    used->insert(EdgeKey(parent, i));
+    endpoint_pool->push_back(parent);
+    endpoint_pool->push_back(i);
+  }
+}
+
+SignedGraph AssignSignsAndBuild(
+    uint32_t n, const std::vector<std::pair<NodeId, NodeId>>& edges,
+    double negative_fraction, Rng* rng) {
+  SignedGraphBuilder builder(n);
+  for (const auto& [u, v] : edges) {
+    Sign sign = rng->NextBool(negative_fraction) ? Sign::kNegative
+                                                 : Sign::kPositive;
+    builder.AddEdge(u, v, sign).CheckOK();
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+}  // namespace
+
+SignedGraph RandomConnectedGnm(uint32_t n, uint64_t m,
+                               double negative_fraction, Rng* rng) {
+  TFSN_CHECK_GE(n, 1u);
+  TFSN_CHECK_GE(m + 1, static_cast<uint64_t>(n));
+  TFSN_CHECK_LE(m, static_cast<uint64_t>(n) * (n - 1) / 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::unordered_set<uint64_t> used;
+  edges.reserve(m);
+  AddRandomTree(n, rng, &edges, &used);
+  while (edges.size() < m) {
+    NodeId u = static_cast<NodeId>(rng->NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng->NextBounded(n));
+    if (u == v) continue;
+    if (!used.insert(EdgeKey(u, v)).second) continue;
+    edges.push_back({u, v});
+  }
+  return AssignSignsAndBuild(n, edges, negative_fraction, rng);
+}
+
+SignedGraph RandomPreferentialAttachment(uint32_t n, uint64_t m,
+                                         double negative_fraction, Rng* rng) {
+  TFSN_CHECK_GE(n, 1u);
+  TFSN_CHECK_GE(m + 1, static_cast<uint64_t>(n));
+  TFSN_CHECK_LE(m, static_cast<uint64_t>(n) * (n - 1) / 2);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::unordered_set<uint64_t> used;
+  std::vector<NodeId> pool;  // node appears once per incident edge endpoint
+  edges.reserve(m);
+  pool.reserve(2 * m + 1);
+  AddPreferentialTree(n, rng, &edges, &used, &pool);
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = 100 * m + 1000;
+  while (edges.size() < m && attempts < max_attempts) {
+    ++attempts;
+    NodeId u = pool[rng->NextBounded(pool.size())];
+    NodeId v = pool[rng->NextBounded(pool.size())];
+    if (u == v) continue;
+    if (!used.insert(EdgeKey(u, v)).second) continue;
+    edges.push_back({u, v});
+    pool.push_back(u);
+    pool.push_back(v);
+  }
+  // Dense hubs can exhaust preferential candidates; fall back to uniform.
+  while (edges.size() < m) {
+    NodeId u = static_cast<NodeId>(rng->NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng->NextBounded(n));
+    if (u == v) continue;
+    if (!used.insert(EdgeKey(u, v)).second) continue;
+    edges.push_back({u, v});
+  }
+  return AssignSignsAndBuild(n, edges, negative_fraction, rng);
+}
+
+SignedGraph PlantedPartitionSigned(uint32_t n, uint64_t m, double noise,
+                                   Rng* rng) {
+  TFSN_CHECK_GE(n, 2u);
+  TFSN_CHECK_GE(m + 1, static_cast<uint64_t>(n));
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::unordered_set<uint64_t> used;
+  AddRandomTree(n, rng, &edges, &used);
+  while (edges.size() < m) {
+    NodeId u = static_cast<NodeId>(rng->NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng->NextBounded(n));
+    if (u == v) continue;
+    if (!used.insert(EdgeKey(u, v)).second) continue;
+    edges.push_back({u, v});
+  }
+  // Faction = node parity of id < n/2; signs follow the partition, then
+  // noise flips.
+  const uint32_t half = n / 2;
+  SignedGraphBuilder builder(n);
+  for (const auto& [u, v] : edges) {
+    bool same_faction = (u < half) == (v < half);
+    Sign sign = same_faction ? Sign::kPositive : Sign::kNegative;
+    if (rng->NextBool(noise)) sign = Negate(sign);
+    builder.AddEdge(u, v, sign).CheckOK();
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+SignedGraph RandomBalancedGraph(uint32_t n, uint64_t m, Rng* rng) {
+  return PlantedPartitionSigned(n, m, /*noise=*/0.0, rng);
+}
+
+SignedGraph SmallWorldSigned(uint32_t n, uint32_t k, double beta,
+                             double negative_fraction, Rng* rng) {
+  TFSN_CHECK_GE(k, 2u);
+  TFSN_CHECK_EQ(k % 2, 0u);
+  TFSN_CHECK_GT(n, k);
+  std::unordered_set<uint64_t> used;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  // Ring lattice.
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 1; j <= k / 2; ++j) {
+      NodeId u = i;
+      NodeId v = (i + j) % n;
+      if (used.insert(EdgeKey(u, v)).second) edges.push_back({u, v});
+    }
+  }
+  // Rewire each edge's far endpoint with probability beta; keep
+  // connectivity likely by never rewiring the j == 1 ring edges.
+  for (auto& [u, v] : edges) {
+    NodeId diff = v >= u ? v - u : u - v;
+    bool ring_edge = diff == 1 || diff == n - 1;
+    if (ring_edge || !rng->NextBool(beta)) continue;
+    for (int tries = 0; tries < 32; ++tries) {
+      NodeId w = static_cast<NodeId>(rng->NextBounded(n));
+      if (w == u || used.count(EdgeKey(u, w))) continue;
+      used.erase(EdgeKey(u, v));
+      used.insert(EdgeKey(u, w));
+      v = w;
+      break;
+    }
+  }
+  return AssignSignsAndBuild(n, edges, negative_fraction, rng);
+}
+
+}  // namespace tfsn

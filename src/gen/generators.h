@@ -1,0 +1,52 @@
+// Random signed-graph generators.
+//
+// These stand in for the paper's real datasets (Slashdot, Epinions,
+// Wikipedia), which we cannot ship. Each generator produces a *connected*
+// signed graph matched on the statistics that drive the paper's metrics:
+// node count, edge count, negative-edge fraction, and (approximately)
+// degree skew. See DESIGN.md §2 for the substitution argument.
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/signed_graph.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+
+/// Connected Erdős–Rényi-style G(n, m) signed graph: a uniform random
+/// spanning tree plus (m - n + 1) uniform random extra edges; each edge is
+/// negative independently with probability `negative_fraction`.
+/// Requires m >= n - 1.
+SignedGraph RandomConnectedGnm(uint32_t n, uint64_t m,
+                               double negative_fraction, Rng* rng);
+
+/// Connected preferential-attachment graph with heavy-tailed degrees: a
+/// random tree grown with preferential attachment, then extra edges whose
+/// endpoints are sampled proportionally to current degree. Mimics the skew
+/// of social networks like Epinions. Requires m >= n - 1.
+SignedGraph RandomPreferentialAttachment(uint32_t n, uint64_t m,
+                                         double negative_fraction, Rng* rng);
+
+/// Two-faction planted-partition signed graph: nodes are split into two
+/// factions of sizes n/2; within-faction edges are positive and
+/// cross-faction edges negative, then each edge sign is flipped
+/// independently with probability `noise`. With noise == 0 the graph is
+/// exactly structurally balanced. Edge placement: spanning tree + random
+/// extra edges as in RandomConnectedGnm. Requires m >= n - 1, n >= 2.
+SignedGraph PlantedPartitionSigned(uint32_t n, uint64_t m, double noise,
+                                   Rng* rng);
+
+/// Exactly structurally balanced random graph (PlantedPartitionSigned with
+/// zero noise).
+SignedGraph RandomBalancedGraph(uint32_t n, uint64_t m, Rng* rng);
+
+/// Ring lattice (each node connected to `k` nearest neighbours on a cycle)
+/// with Watts–Strogatz rewiring probability `beta`; signs negative with
+/// probability `negative_fraction`. Useful for controlling diameter.
+/// Requires even k >= 2, n > k.
+SignedGraph SmallWorldSigned(uint32_t n, uint32_t k, double beta,
+                             double negative_fraction, Rng* rng);
+
+}  // namespace tfsn

@@ -1,0 +1,140 @@
+#include "src/graph/balance.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace tfsn {
+
+BalanceCheck CheckBalance(const SignedGraph& g) {
+  BalanceCheck out;
+  const uint32_t n = g.num_nodes();
+  out.side.assign(n, 0);  // 0 == unvisited
+  for (NodeId start = 0; start < n; ++start) {
+    if (out.side[start] != 0) continue;
+    out.side[start] = +1;
+    std::deque<NodeId> queue{start};
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      for (const Neighbor& nb : g.Neighbors(u)) {
+        Side want = nb.sign == Sign::kPositive ? out.side[u]
+                                               : static_cast<Side>(-out.side[u]);
+        if (out.side[nb.to] == 0) {
+          out.side[nb.to] = want;
+          queue.push_back(nb.to);
+        } else if (out.side[nb.to] != want) {
+          out.balanced = false;
+          out.side.clear();
+          return out;
+        }
+      }
+    }
+  }
+  out.balanced = true;
+  return out;
+}
+
+std::vector<Side> PathSides(const SignedGraph& g,
+                            std::span<const NodeId> path) {
+  std::vector<Side> sides;
+  sides.reserve(path.size());
+  Side side = +1;
+  sides.push_back(side);
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    auto sign = g.EdgeSign(path[i], path[i + 1]);
+    TFSN_CHECK(sign.has_value());
+    if (*sign == Sign::kNegative) side = static_cast<Side>(-side);
+    sides.push_back(side);
+  }
+  return sides;
+}
+
+bool IsPathBalanced(const SignedGraph& g, std::span<const NodeId> path) {
+  if (path.size() <= 2) return true;  // a single edge induces no cycle
+  std::vector<Side> sides = PathSides(g, path);
+  // Check every chord: edge between path[i] and path[j], |i-j| > 1.
+  // We iterate the sparser direction: for each path node, scan its adjacency
+  // and test membership in the path via a position map.
+  // Path lengths are small (<= graph diameter), so a linear scan over the
+  // path for membership is fine; use index map to keep it O(1).
+  std::vector<std::pair<NodeId, Side>> pos;  // sorted (node, side)
+  pos.reserve(path.size());
+  for (size_t i = 0; i < path.size(); ++i) pos.push_back({path[i], sides[i]});
+  std::sort(pos.begin(), pos.end());
+  auto side_of = [&pos](NodeId x) -> std::optional<Side> {
+    auto it = std::lower_bound(
+        pos.begin(), pos.end(), x,
+        [](const std::pair<NodeId, Side>& p, NodeId v) { return p.first < v; });
+    if (it == pos.end() || it->first != x) return std::nullopt;
+    return it->second;
+  };
+  for (size_t i = 0; i < path.size(); ++i) {
+    for (const Neighbor& nb : g.Neighbors(path[i])) {
+      if (nb.to <= path[i]) continue;  // each edge once
+      auto other = side_of(nb.to);
+      if (!other) continue;
+      Sign expected = sides[i] * (*other) > 0 ? Sign::kPositive : Sign::kNegative;
+      if (nb.sign != expected) return false;
+    }
+  }
+  return true;
+}
+
+TriangleCensus CountTriangles(const SignedGraph& g) {
+  TriangleCensus census;
+  // For each edge (u,v) with u < v, intersect sorted adjacency lists and
+  // count each triangle once by requiring w > v.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nu = g.Neighbors(u);
+    for (const Neighbor& uv : nu) {
+      if (uv.to <= u) continue;
+      NodeId v = uv.to;
+      auto nv = g.Neighbors(v);
+      size_t i = 0, j = 0;
+      while (i < nu.size() && j < nv.size()) {
+        if (nu[i].to < nv[j].to) {
+          ++i;
+        } else if (nu[i].to > nv[j].to) {
+          ++j;
+        } else {
+          NodeId w = nu[i].to;
+          if (w > v) {
+            int negatives = (uv.sign == Sign::kNegative) +
+                            (nu[i].sign == Sign::kNegative) +
+                            (nv[j].sign == Sign::kNegative);
+            switch (negatives) {
+              case 0: ++census.ppp; break;
+              case 1: ++census.ppn; break;
+              case 2: ++census.pnn; break;
+              default: ++census.nnn; break;
+            }
+          }
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return census;
+}
+
+uint64_t Frustration(const SignedGraph& g, std::span<const Side> side) {
+  TFSN_CHECK_EQ(side.size(), g.num_nodes());
+  uint64_t violations = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      if (nb.to <= u) continue;
+      bool same = side[u] == side[nb.to];
+      if ((same && nb.sign == Sign::kNegative) ||
+          (!same && nb.sign == Sign::kPositive)) {
+        ++violations;
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace tfsn

@@ -1,0 +1,78 @@
+// Structural-balance machinery (paper Section 3, Claim 1, Definition 3.4).
+//
+// A signed graph is structurally balanced iff it contains no cycle with an
+// odd number of negative edges, or equivalently iff its nodes can be split
+// into two factions with all positive edges inside a faction and all
+// negative edges across (Cartwright–Harary). We check this with a signed
+// two-colouring BFS.
+//
+// A *path* P is structurally balanced when the subgraph induced by its
+// nodes, G[P] — the path edges plus every chord edge between path nodes —
+// is balanced. A path fixes a side (faction relative to its start) for each
+// of its nodes: side flips across negative edges. G[P] is then balanced iff
+// every chord edge's sign matches the product of its endpoints' sides.
+// This equivalence is what makes the incremental O(deg) check used by the
+// SBP algorithms correct.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/graph/signed_graph.h"
+
+namespace tfsn {
+
+/// Faction side relative to a reference node: +1 same faction, -1 opposite.
+using Side = int8_t;
+
+/// Result of a whole-graph balance check.
+struct BalanceCheck {
+  bool balanced = false;
+  /// Faction side per node (+1 / -1) when balanced; empty otherwise.
+  /// Sides are relative per connected component (component roots get +1).
+  std::vector<Side> side;
+};
+
+/// Checks whole-graph structural balance via signed 2-colouring. O(n + m).
+BalanceCheck CheckBalance(const SignedGraph& g);
+
+/// Sides induced by walking `path` from its first node: side[0] = +1 and
+/// the side flips across each negative edge. Requires consecutive pairs to
+/// be edges; dies otherwise (programmer error).
+std::vector<Side> PathSides(const SignedGraph& g, std::span<const NodeId> path);
+
+/// True if `path` (a simple path; caller guarantees node distinctness) is
+/// structurally balanced: every edge of G between two path nodes must have
+/// sign equal to the product of the nodes' path sides. O(sum of degrees).
+bool IsPathBalanced(const SignedGraph& g, std::span<const NodeId> path);
+
+/// Triangle census of the graph.
+struct TriangleCensus {
+  uint64_t ppp = 0;  ///< all-positive (balanced)
+  uint64_t pnn = 0;  ///< one positive, two negative (balanced)
+  uint64_t ppn = 0;  ///< two positive, one negative (unbalanced)
+  uint64_t nnn = 0;  ///< all-negative (unbalanced)
+
+  uint64_t balanced() const { return ppp + pnn; }
+  uint64_t unbalanced() const { return ppn + nnn; }
+  uint64_t total() const { return balanced() + unbalanced(); }
+  /// Fraction of triangles that are balanced; 1.0 when there are none.
+  double balance_ratio() const {
+    return total() == 0 ? 1.0
+                        : static_cast<double>(balanced()) /
+                              static_cast<double>(total());
+  }
+};
+
+/// Counts triangles by sign pattern. O(sum over edges of min-degree).
+TriangleCensus CountTriangles(const SignedGraph& g);
+
+/// Number of edges violating the faction assignment `side` (positive edges
+/// across factions + negative edges within). This is the frustration of the
+/// partition; 0 iff `side` witnesses balance.
+uint64_t Frustration(const SignedGraph& g, std::span<const Side> side);
+
+}  // namespace tfsn

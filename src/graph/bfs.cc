@@ -1,0 +1,90 @@
+#include "src/graph/bfs.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace tfsn {
+
+std::vector<uint32_t> BfsDistances(const SignedGraph& g, NodeId source) {
+  return BfsDistancesBounded(g, source, kUnreachable);
+}
+
+std::vector<uint32_t> BfsDistancesBounded(const SignedGraph& g, NodeId source,
+                                          uint32_t max_depth) {
+  std::vector<uint32_t> dist(g.num_nodes(), kUnreachable);
+  dist[source] = 0;
+  std::vector<NodeId> frontier{source};
+  std::vector<NodeId> next;
+  uint32_t depth = 0;
+  while (!frontier.empty() && depth < max_depth) {
+    next.clear();
+    ++depth;
+    for (NodeId u : frontier) {
+      for (const Neighbor& nb : g.Neighbors(u)) {
+        if (dist[nb.to] == kUnreachable) {
+          dist[nb.to] = depth;
+          next.push_back(nb.to);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+uint32_t BfsDistance(const SignedGraph& g, NodeId source, NodeId target) {
+  if (source == target) return 0;
+  std::vector<uint32_t> dist(g.num_nodes(), kUnreachable);
+  dist[source] = 0;
+  std::deque<NodeId> queue{source};
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      if (dist[nb.to] != kUnreachable) continue;
+      dist[nb.to] = dist[u] + 1;
+      if (nb.to == target) return dist[nb.to];
+      queue.push_back(nb.to);
+    }
+  }
+  return kUnreachable;
+}
+
+std::vector<NodeId> BfsShortestPath(const SignedGraph& g, NodeId source,
+                                    NodeId target) {
+  if (source == target) return {source};
+  std::vector<NodeId> parent(g.num_nodes(), kInvalidNode);
+  std::vector<uint32_t> dist(g.num_nodes(), kUnreachable);
+  dist[source] = 0;
+  std::deque<NodeId> queue{source};
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      if (dist[nb.to] != kUnreachable) continue;
+      dist[nb.to] = dist[u] + 1;
+      parent[nb.to] = u;
+      if (nb.to == target) {
+        std::vector<NodeId> path;
+        for (NodeId x = target; x != kInvalidNode; x = parent[x]) {
+          path.push_back(x);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(nb.to);
+    }
+  }
+  return {};
+}
+
+uint32_t Eccentricity(const SignedGraph& g, NodeId source) {
+  std::vector<uint32_t> dist = BfsDistances(g, source);
+  uint32_t ecc = 0;
+  for (uint32_t d : dist) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+}  // namespace tfsn

@@ -1,0 +1,38 @@
+// Unsigned breadth-first search primitives over a SignedGraph.
+//
+// These ignore edge signs; the sign-aware shortest-path machinery lives in
+// src/compat/sp_compat.h (Algorithm 1 of the paper).
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/graph/signed_graph.h"
+
+namespace tfsn {
+
+/// Distance value for unreachable nodes.
+inline constexpr uint32_t kUnreachable = std::numeric_limits<uint32_t>::max();
+
+/// BFS distances (hop counts) from `source` to every node; kUnreachable for
+/// nodes in other components. O(n + m).
+std::vector<uint32_t> BfsDistances(const SignedGraph& g, NodeId source);
+
+/// BFS limited to `max_depth` hops; nodes farther away get kUnreachable.
+std::vector<uint32_t> BfsDistancesBounded(const SignedGraph& g, NodeId source,
+                                          uint32_t max_depth);
+
+/// Distance between two nodes (early-exit BFS); kUnreachable if disconnected.
+uint32_t BfsDistance(const SignedGraph& g, NodeId source, NodeId target);
+
+/// One shortest path from source to target as a node sequence (inclusive of
+/// both endpoints), or empty if unreachable / source == target.
+std::vector<NodeId> BfsShortestPath(const SignedGraph& g, NodeId source,
+                                    NodeId target);
+
+/// The eccentricity of `source`: max finite BFS distance from it.
+uint32_t Eccentricity(const SignedGraph& g, NodeId source);
+
+}  // namespace tfsn

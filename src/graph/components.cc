@@ -1,0 +1,82 @@
+#include "src/graph/components.h"
+
+#include <algorithm>
+
+#include "src/graph/graph_builder.h"
+#include "src/util/logging.h"
+
+namespace tfsn {
+
+uint32_t ComponentInfo::LargestComponent() const {
+  TFSN_CHECK(!size.empty());
+  return static_cast<uint32_t>(
+      std::max_element(size.begin(), size.end()) - size.begin());
+}
+
+ComponentInfo ConnectedComponents(const SignedGraph& g) {
+  ComponentInfo info;
+  const uint32_t n = g.num_nodes();
+  info.label.assign(n, static_cast<uint32_t>(-1));
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (info.label[start] != static_cast<uint32_t>(-1)) continue;
+    uint32_t comp = info.num_components();
+    info.size.push_back(0);
+    stack.push_back(start);
+    info.label[start] = comp;
+    while (!stack.empty()) {
+      NodeId u = stack.back();
+      stack.pop_back();
+      ++info.size[comp];
+      for (const Neighbor& nb : g.Neighbors(u)) {
+        if (info.label[nb.to] == static_cast<uint32_t>(-1)) {
+          info.label[nb.to] = comp;
+          stack.push_back(nb.to);
+        }
+      }
+    }
+  }
+  return info;
+}
+
+bool IsConnected(const SignedGraph& g) {
+  if (g.num_nodes() == 0) return true;
+  return ConnectedComponents(g).num_components() == 1;
+}
+
+SubgraphMapping InducedSubgraph(const SignedGraph& g,
+                                const std::vector<bool>& keep) {
+  TFSN_CHECK_EQ(keep.size(), g.num_nodes());
+  SubgraphMapping out;
+  out.old_to_new.assign(g.num_nodes(), kInvalidNode);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (keep[u]) {
+      out.old_to_new[u] = static_cast<NodeId>(out.new_to_old.size());
+      out.new_to_old.push_back(u);
+    }
+  }
+  SignedGraphBuilder builder(static_cast<uint32_t>(out.new_to_old.size()));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (!keep[u]) continue;
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      if (u < nb.to && keep[nb.to]) {
+        builder.AddEdge(out.old_to_new[u], out.old_to_new[nb.to], nb.sign)
+            .CheckOK();
+      }
+    }
+  }
+  out.graph = std::move(builder.Build()).ValueOrDie();
+  return out;
+}
+
+SubgraphMapping LargestComponentSubgraph(const SignedGraph& g) {
+  ComponentInfo info = ConnectedComponents(g);
+  uint32_t largest = info.LargestComponent();
+  std::vector<bool> keep(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    keep[u] = info.label[u] == largest;
+  }
+  return InducedSubgraph(g, keep);
+}
+
+}  // namespace tfsn

@@ -1,0 +1,46 @@
+// Connected components and subgraph extraction.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/signed_graph.h"
+
+namespace tfsn {
+
+/// Result of a connected-components labelling.
+struct ComponentInfo {
+  /// Component label per node, labels are dense in [0, num_components).
+  std::vector<uint32_t> label;
+  /// Node count per component.
+  std::vector<uint32_t> size;
+
+  uint32_t num_components() const { return static_cast<uint32_t>(size.size()); }
+  /// Index of the largest component.
+  uint32_t LargestComponent() const;
+};
+
+/// Labels connected components (edge signs ignored). O(n + m).
+ComponentInfo ConnectedComponents(const SignedGraph& g);
+
+/// True if the graph is connected (or empty).
+bool IsConnected(const SignedGraph& g);
+
+/// Mapping produced when extracting an induced subgraph.
+struct SubgraphMapping {
+  SignedGraph graph;
+  /// old node id -> new node id (kInvalidNode if dropped).
+  std::vector<NodeId> old_to_new;
+  /// new node id -> old node id.
+  std::vector<NodeId> new_to_old;
+};
+
+/// Induced subgraph on `keep` (a node mask of size n).
+SubgraphMapping InducedSubgraph(const SignedGraph& g,
+                                const std::vector<bool>& keep);
+
+/// Induced subgraph on the largest connected component.
+SubgraphMapping LargestComponentSubgraph(const SignedGraph& g);
+
+}  // namespace tfsn

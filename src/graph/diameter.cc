@@ -1,0 +1,70 @@
+#include "src/graph/diameter.h"
+
+#include <algorithm>
+
+#include "src/graph/bfs.h"
+
+namespace tfsn {
+
+uint32_t ExactDiameter(const SignedGraph& g) {
+  uint32_t diameter = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    diameter = std::max(diameter, Eccentricity(g, u));
+  }
+  return diameter;
+}
+
+namespace {
+
+// One double sweep: BFS from seed, then BFS from the farthest node found.
+uint32_t DoubleSweep(const SignedGraph& g, NodeId seed) {
+  std::vector<uint32_t> dist = BfsDistances(g, seed);
+  NodeId far = seed;
+  uint32_t best = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (dist[u] != kUnreachable && dist[u] > best) {
+      best = dist[u];
+      far = u;
+    }
+  }
+  return Eccentricity(g, far);
+}
+
+}  // namespace
+
+uint32_t EstimateDiameter(const SignedGraph& g, uint32_t samples, Rng* rng) {
+  if (g.num_nodes() < 2) return 0;
+  uint32_t best = 0;
+  for (uint32_t i = 0; i < samples; ++i) {
+    NodeId seed = static_cast<NodeId>(rng->NextBounded(g.num_nodes()));
+    best = std::max(best, DoubleSweep(g, seed));
+  }
+  return best;
+}
+
+double EstimateAverageDistance(const SignedGraph& g, uint32_t source_samples,
+                               Rng* rng) {
+  if (g.num_nodes() < 2) return 0.0;
+  // Sampling >= n sources degenerates to the exact all-sources average.
+  std::vector<uint32_t> sources;
+  if (source_samples >= g.num_nodes()) {
+    sources.resize(g.num_nodes());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) sources[u] = u;
+  } else {
+    sources = rng->SampleWithoutReplacement(g.num_nodes(), source_samples);
+  }
+  double sum = 0.0;
+  uint64_t count = 0;
+  for (NodeId source : sources) {
+    std::vector<uint32_t> dist = BfsDistances(g, source);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (u != source && dist[u] != kUnreachable) {
+        sum += dist[u];
+        ++count;
+      }
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+}  // namespace tfsn

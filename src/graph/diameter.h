@@ -1,0 +1,28 @@
+// Graph diameter: exact (all-sources BFS) and sampled estimates.
+//
+// Table 1 of the paper reports dataset diameters; we need both an exact
+// routine for small graphs and a cheap estimate for Epinions-scale ones.
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/signed_graph.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+
+/// Exact diameter of the (assumed connected) graph via n BFS runs.
+/// Returns 0 for graphs with < 2 nodes. O(n * (n + m)).
+uint32_t ExactDiameter(const SignedGraph& g);
+
+/// Lower-bound diameter estimate: repeated double-sweep from `samples`
+/// random seeds. Exact on trees, and in practice tight on social networks.
+uint32_t EstimateDiameter(const SignedGraph& g, uint32_t samples, Rng* rng);
+
+/// Average pairwise distance estimated from `source_samples` BFS runs.
+/// Unreachable pairs are skipped.
+double EstimateAverageDistance(const SignedGraph& g, uint32_t source_samples,
+                               Rng* rng);
+
+}  // namespace tfsn

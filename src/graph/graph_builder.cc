@@ -1,0 +1,81 @@
+#include "src/graph/graph_builder.h"
+
+#include <algorithm>
+#include <string>
+
+namespace tfsn {
+
+Status SignedGraphBuilder::AddEdge(NodeId u, NodeId v, Sign sign) {
+  if (u == v) {
+    return Status::InvalidArgument("self-loop on node " + std::to_string(u));
+  }
+  EnsureNode(u);
+  EnsureNode(v);
+  if (u > v) std::swap(u, v);
+  edges_.push_back({u, v, sign});
+  return Status::OK();
+}
+
+bool SignedGraphBuilder::HasEdge(NodeId u, NodeId v) const {
+  if (u > v) std::swap(u, v);
+  for (const SignedEdge& e : edges_) {
+    if (e.u == u && e.v == v) return true;
+  }
+  return false;
+}
+
+Result<SignedGraph> SignedGraphBuilder::Build() const {
+  std::vector<SignedEdge> edges = edges_;
+  std::sort(edges.begin(), edges.end(), [](const SignedEdge& a, const SignedEdge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  // Deduplicate; conflicting duplicate signs are a construction bug.
+  std::vector<SignedEdge> unique;
+  unique.reserve(edges.size());
+  for (const SignedEdge& e : edges) {
+    if (!unique.empty() && unique.back().u == e.u && unique.back().v == e.v) {
+      if (unique.back().sign != e.sign) {
+        return Status::InvalidArgument(
+            "edge (" + std::to_string(e.u) + "," + std::to_string(e.v) +
+            ") added with conflicting signs");
+      }
+      continue;
+    }
+    unique.push_back(e);
+  }
+
+  SignedGraph g;
+  const uint32_t n = num_nodes_;
+  std::vector<uint32_t> degree(n, 0);
+  for (const SignedEdge& e : unique) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (uint32_t u = 0; u < n; ++u) {
+    g.offsets_[u + 1] = g.offsets_[u] + degree[u];
+  }
+  g.adj_.resize(unique.size() * 2);
+  g.targets_.resize(unique.size() * 2);
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const SignedEdge& e : unique) {
+    g.adj_[cursor[e.u]] = {e.v, e.sign};
+    g.targets_[cursor[e.u]++] = e.v;
+    g.adj_[cursor[e.v]] = {e.u, e.sign};
+    g.targets_[cursor[e.v]++] = e.u;
+    if (e.sign == Sign::kNegative) ++g.num_negative_;
+  }
+  // Sort each adjacency list by target id for binary-search lookups.
+  for (uint32_t u = 0; u < n; ++u) {
+    auto begin = g.adj_.begin() + static_cast<int64_t>(g.offsets_[u]);
+    auto end = g.adj_.begin() + static_cast<int64_t>(g.offsets_[u + 1]);
+    std::sort(begin, end,
+              [](const Neighbor& a, const Neighbor& b) { return a.to < b.to; });
+    for (uint64_t i = g.offsets_[u]; i < g.offsets_[u + 1]; ++i) {
+      g.targets_[i] = g.adj_[i].to;
+    }
+  }
+  return g;
+}
+
+}  // namespace tfsn

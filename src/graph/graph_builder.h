@@ -1,0 +1,52 @@
+// Mutable builder producing immutable SignedGraph instances.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/signed_graph.h"
+#include "src/util/result.h"
+
+namespace tfsn {
+
+/// Accumulates edges and produces a validated CSR SignedGraph.
+///
+/// Usage:
+///   SignedGraphBuilder b(5);
+///   b.AddEdge(0, 1, Sign::kPositive);
+///   ...
+///   TFSN_ASSIGN_OR_RETURN(SignedGraph g, b.Build());
+class SignedGraphBuilder {
+ public:
+  /// Creates a builder for a graph with `num_nodes` nodes (ids 0..n-1).
+  explicit SignedGraphBuilder(uint32_t num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Grows the node count so `node` is valid.
+  void EnsureNode(NodeId node) {
+    if (node >= num_nodes_) num_nodes_ = node + 1;
+  }
+
+  /// Records an undirected edge. Endpoint order is irrelevant.
+  /// Returns InvalidArgument for self-loops or out-of-range endpoints
+  /// (when ids were pre-declared via the constructor).
+  Status AddEdge(NodeId u, NodeId v, Sign sign);
+
+  /// True if (u,v) was already added (linear scan; intended for tests and
+  /// small incremental construction, not bulk loading).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  uint32_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Validates (no duplicate edges; duplicate with *equal* signs is
+  /// tolerated and deduplicated, conflicting signs is an error) and builds
+  /// the CSR representation.
+  Result<SignedGraph> Build() const;
+
+ private:
+  uint32_t num_nodes_ = 0;
+  std::vector<SignedEdge> edges_;
+};
+
+}  // namespace tfsn

@@ -1,0 +1,98 @@
+#include "src/graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/graph/graph_builder.h"
+
+namespace tfsn {
+
+namespace {
+
+Result<SignedGraph> ParseStream(std::istream& in, uint64_t* skipped) {
+  SignedGraphBuilder builder(0);
+  std::unordered_map<uint64_t, NodeId> dense;
+  auto densify = [&](uint64_t raw) {
+    auto [it, inserted] = dense.try_emplace(
+        raw, static_cast<NodeId>(dense.size()));
+    (void)inserted;
+    return it->second;
+  };
+  uint64_t skip_count = 0;
+  std::unordered_map<uint64_t, Sign> edge_sign;  // key = (min<<32)|max
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    int64_t u_raw, v_raw, s_raw;
+    if (!(ls >> u_raw >> v_raw >> s_raw)) {
+      return Status::IOError("malformed edge list at line " +
+                             std::to_string(line_no) + ": '" + line + "'");
+    }
+    if (u_raw < 0 || v_raw < 0 || (s_raw != 1 && s_raw != -1)) {
+      return Status::IOError("invalid edge values at line " +
+                             std::to_string(line_no));
+    }
+    if (u_raw == v_raw) {
+      ++skip_count;
+      continue;
+    }
+    NodeId u = densify(static_cast<uint64_t>(u_raw));
+    NodeId v = densify(static_cast<uint64_t>(v_raw));
+    Sign sign = s_raw == 1 ? Sign::kPositive : Sign::kNegative;
+    uint64_t key = u < v ? (static_cast<uint64_t>(u) << 32) | v
+                         : (static_cast<uint64_t>(v) << 32) | u;
+    auto [it, inserted] = edge_sign.try_emplace(key, sign);
+    if (!inserted) {
+      if (it->second != sign) ++skip_count;  // conflicting duplicate
+      continue;
+    }
+    TFSN_RETURN_NOT_OK(builder.AddEdge(u, v, sign));
+  }
+  if (skipped != nullptr) *skipped = skip_count;
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<SignedGraph> LoadEdgeList(const std::string& path, uint64_t* skipped) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  return ParseStream(in, skipped);
+}
+
+Result<SignedGraph> ParseEdgeList(const std::string& text, uint64_t* skipped) {
+  std::istringstream in(text);
+  return ParseStream(in, skipped);
+}
+
+std::string ToEdgeListString(const SignedGraph& g) {
+  std::string out =
+      "# tfsn signed edge list: <u> <v> <sign>\n# nodes: " +
+      std::to_string(g.num_nodes()) + " edges: " + std::to_string(g.num_edges()) +
+      "\n";
+  for (const SignedEdge& e : g.Edges()) {
+    out += std::to_string(e.u) + " " + std::to_string(e.v) + " " +
+           (e.sign == Sign::kPositive ? "1" : "-1") + "\n";
+  }
+  return out;
+}
+
+Status WriteEdgeList(const SignedGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out << ToEdgeListString(g);
+  if (!out) {
+    return Status::IOError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace tfsn

@@ -1,0 +1,33 @@
+// Edge-list serialization.
+//
+// Format (SNAP-compatible signed edge list):
+//   # comment lines start with '#'
+//   <u> <v> <sign>      sign is +1/-1 (also accepts 1/-1)
+// Node ids are arbitrary non-negative integers; they are densified on load.
+
+#pragma once
+
+#include <string>
+
+#include "src/graph/signed_graph.h"
+#include "src/util/result.h"
+
+namespace tfsn {
+
+/// Loads a signed graph from an edge-list file. Duplicate edges with equal
+/// signs are merged; conflicting duplicates and self-loops are skipped with
+/// a count reported via `skipped` (optional).
+Result<SignedGraph> LoadEdgeList(const std::string& path,
+                                 uint64_t* skipped = nullptr);
+
+/// Parses the same format from an in-memory string (used by tests).
+Result<SignedGraph> ParseEdgeList(const std::string& text,
+                                  uint64_t* skipped = nullptr);
+
+/// Writes the graph in the format above.
+Status WriteEdgeList(const SignedGraph& g, const std::string& path);
+
+/// Serializes to the edge-list text format.
+std::string ToEdgeListString(const SignedGraph& g);
+
+}  // namespace tfsn

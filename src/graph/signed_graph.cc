@@ -1,0 +1,53 @@
+#include "src/graph/signed_graph.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tfsn {
+
+std::optional<Sign> SignedGraph::EdgeSign(NodeId u, NodeId v) const {
+  if (u >= num_nodes() || v >= num_nodes()) return std::nullopt;
+  auto nbrs = Neighbors(u);
+  auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), v,
+      [](const Neighbor& nb, NodeId target) { return nb.to < target; });
+  if (it == nbrs.end() || it->to != v) return std::nullopt;
+  return it->sign;
+}
+
+std::vector<SignedEdge> SignedGraph::Edges() const {
+  std::vector<SignedEdge> edges;
+  edges.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const Neighbor& nb : Neighbors(u)) {
+      if (u < nb.to) edges.push_back({u, nb.to, nb.sign});
+    }
+  }
+  return edges;
+}
+
+Result<Sign> SignedGraph::PathSign(std::span<const NodeId> path) const {
+  if (path.size() < 2) {
+    return Status::InvalidArgument("path must have at least two nodes");
+  }
+  Sign sign = Sign::kPositive;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    auto s = EdgeSign(path[i], path[i + 1]);
+    if (!s) {
+      return Status::InvalidArgument("path uses a non-existent edge");
+    }
+    sign = sign * *s;
+  }
+  return sign;
+}
+
+std::string SignedGraph::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "SignedGraph(n=%u, m=%llu, neg=%.1f%%)", num_nodes(),
+                static_cast<unsigned long long>(num_edges()),
+                negative_fraction() * 100.0);
+  return buf;
+}
+
+}  // namespace tfsn

@@ -1,0 +1,126 @@
+// SignedGraph: immutable undirected signed graph in CSR layout.
+//
+// This is the substrate of the whole library (paper Section 2): nodes are
+// individuals, edges carry a +1 (friend) or -1 (foe) label. The graph is
+// stored as a compressed sparse row structure with per-neighbour signs;
+// adjacency lists are sorted by target id so edge-sign lookup is a binary
+// search.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace tfsn {
+
+/// Node identifier; nodes are dense ids in [0, num_nodes).
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Edge label. Values are chosen so that the sign of a path is the plain
+/// integer product of its edge signs (paper Section 3).
+enum class Sign : int8_t {
+  kNegative = -1,
+  kPositive = +1,
+};
+
+/// Multiplies two signs (path-sign composition).
+inline Sign operator*(Sign a, Sign b) {
+  return static_cast<Sign>(static_cast<int8_t>(a) * static_cast<int8_t>(b));
+}
+
+/// Flips a sign.
+inline Sign Negate(Sign s) {
+  return s == Sign::kPositive ? Sign::kNegative : Sign::kPositive;
+}
+
+/// One endpoint of an adjacency entry: the neighbour and the edge sign.
+struct Neighbor {
+  NodeId to;
+  Sign sign;
+
+  bool operator==(const Neighbor&) const = default;
+};
+
+/// An undirected signed edge with u < v canonical orientation.
+struct SignedEdge {
+  NodeId u;
+  NodeId v;
+  Sign sign;
+
+  bool operator==(const SignedEdge&) const = default;
+};
+
+/// Immutable undirected signed graph.
+///
+/// Construct via SignedGraphBuilder (graph_builder.h) or the generators in
+/// src/gen. Self-loops and parallel edges are rejected at build time.
+class SignedGraph {
+ public:
+  SignedGraph() = default;
+
+  /// Number of nodes n.
+  uint32_t num_nodes() const { return static_cast<uint32_t>(offsets_.size()) - 1; }
+
+  /// Number of undirected edges m.
+  uint64_t num_edges() const { return targets_.size() / 2; }
+
+  /// Number of undirected negative edges.
+  uint64_t num_negative_edges() const { return num_negative_; }
+
+  /// Number of undirected positive edges.
+  uint64_t num_positive_edges() const { return num_edges() - num_negative_; }
+
+  /// Fraction of edges that are negative; 0 for the empty graph.
+  double negative_fraction() const {
+    return num_edges() == 0
+               ? 0.0
+               : static_cast<double>(num_negative_) / static_cast<double>(num_edges());
+  }
+
+  /// Degree of node u.
+  uint32_t Degree(NodeId u) const {
+    return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Adjacency list of u, sorted by neighbour id.
+  std::span<const Neighbor> Neighbors(NodeId u) const {
+    return {adj_.data() + offsets_[u], adj_.data() + offsets_[u + 1]};
+  }
+
+  /// Sign of edge (u,v), or nullopt if the edge does not exist.
+  /// O(log deg(u)).
+  std::optional<Sign> EdgeSign(NodeId u, NodeId v) const;
+
+  /// True if (u,v) is an edge of either sign.
+  bool HasEdge(NodeId u, NodeId v) const { return EdgeSign(u, v).has_value(); }
+
+  /// All undirected edges in canonical (u < v) order.
+  std::vector<SignedEdge> Edges() const;
+
+  /// Sign of the path v0 - v1 - ... - vk (product of edge signs), or an
+  /// error if any consecutive pair is not an edge.
+  Result<Sign> PathSign(std::span<const NodeId> path) const;
+
+  /// Human-readable one-line summary (n, m, %negative).
+  std::string ToString() const;
+
+ private:
+  friend class SignedGraphBuilder;
+
+  // CSR: adj_[offsets_[u] .. offsets_[u+1]) are u's neighbours, sorted by id.
+  std::vector<uint64_t> offsets_{0};
+  std::vector<Neighbor> adj_;
+  std::vector<NodeId> targets_;  // parallel to adj_ (kept for cheap edge scans)
+  uint64_t num_negative_ = 0;
+};
+
+}  // namespace tfsn

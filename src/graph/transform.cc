@@ -1,0 +1,39 @@
+#include "src/graph/transform.h"
+
+#include "src/graph/graph_builder.h"
+
+namespace tfsn {
+
+namespace {
+
+template <typename EdgeFn>
+SignedGraph Rebuild(const SignedGraph& g, EdgeFn fn) {
+  SignedGraphBuilder builder(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      if (u >= nb.to) continue;
+      std::optional<Sign> sign = fn(nb.sign);
+      if (sign) builder.AddEdge(u, nb.to, *sign).CheckOK();
+    }
+  }
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+}  // namespace
+
+SignedGraph IgnoreSigns(const SignedGraph& g) {
+  return Rebuild(g, [](Sign) -> std::optional<Sign> { return Sign::kPositive; });
+}
+
+SignedGraph DeleteNegativeEdges(const SignedGraph& g) {
+  return Rebuild(g, [](Sign s) -> std::optional<Sign> {
+    if (s == Sign::kNegative) return std::nullopt;
+    return Sign::kPositive;
+  });
+}
+
+SignedGraph FlipSigns(const SignedGraph& g) {
+  return Rebuild(g, [](Sign s) -> std::optional<Sign> { return Negate(s); });
+}
+
+}  // namespace tfsn

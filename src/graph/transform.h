@@ -1,0 +1,23 @@
+// Graph transformations used by the unsigned-baseline comparison (Table 3):
+// the paper derives two unsigned networks from a signed one by (1) ignoring
+// edge signs and (2) deleting the negative edges.
+
+#pragma once
+
+#include "src/graph/components.h"
+#include "src/graph/signed_graph.h"
+
+namespace tfsn {
+
+/// Copy of `g` with every edge relabelled positive ("ignore the sign").
+SignedGraph IgnoreSigns(const SignedGraph& g);
+
+/// Copy of `g` with negative edges removed (node set unchanged; the result
+/// may be disconnected).
+SignedGraph DeleteNegativeEdges(const SignedGraph& g);
+
+/// Copy of `g` with every edge sign flipped (useful for tests and for
+/// stress-testing balance machinery).
+SignedGraph FlipSigns(const SignedGraph& g);
+
+}  // namespace tfsn

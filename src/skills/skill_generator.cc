@@ -1,0 +1,55 @@
+#include "src/skills/skill_generator.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/zipf.h"
+
+namespace tfsn {
+
+SkillAssignment ZipfSkills(uint32_t num_users, const ZipfSkillParams& params,
+                           Rng* rng) {
+  TFSN_CHECK_GT(num_users, 0u);
+  TFSN_CHECK_GT(params.num_skills, 0u);
+  ZipfSampler zipf(params.num_skills, params.exponent);
+  std::vector<std::vector<SkillId>> user_skills(num_users);
+  const uint64_t target =
+      static_cast<uint64_t>(params.mean_skills_per_user * num_users);
+  for (uint64_t i = 0; i < target; ++i) {
+    SkillId skill = zipf.Sample(rng);
+    uint32_t user = static_cast<uint32_t>(rng->NextBounded(num_users));
+    user_skills[user].push_back(skill);
+  }
+  if (params.every_user_has_skill) {
+    for (auto& skills : user_skills) {
+      if (skills.empty()) skills.push_back(zipf.Sample(rng));
+    }
+  }
+  return std::move(
+             SkillAssignment::Create(std::move(user_skills), params.num_skills))
+      .ValueOrDie();
+}
+
+Task RandomTask(const SkillAssignment& sa, uint32_t k, Rng* rng) {
+  std::vector<SkillId> eligible;
+  for (SkillId s = 0; s < sa.num_skills(); ++s) {
+    if (sa.Frequency(s) > 0) eligible.push_back(s);
+  }
+  TFSN_CHECK_LE(k, eligible.size());
+  std::vector<uint32_t> picks =
+      rng->SampleWithoutReplacement(static_cast<uint32_t>(eligible.size()), k);
+  std::vector<SkillId> skills;
+  skills.reserve(k);
+  for (uint32_t p : picks) skills.push_back(eligible[p]);
+  return Task(std::move(skills));
+}
+
+std::vector<Task> RandomTasks(const SkillAssignment& sa, uint32_t k,
+                              uint32_t count, Rng* rng) {
+  std::vector<Task> tasks;
+  tasks.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) tasks.push_back(RandomTask(sa, k, rng));
+  return tasks;
+}
+
+}  // namespace tfsn

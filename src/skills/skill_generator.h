@@ -1,0 +1,44 @@
+// Synthetic skill assignment and task generation.
+//
+// The paper (Section 5, Wikipedia) generates "500 distinct skills with
+// frequencies following a Zipf distribution as in real data. Each skill is
+// assigned to users in the network uniformly at random." ZipfSkills
+// implements exactly that recipe and is also how we attach skills to the
+// synthetic Slashdot/Epinions stand-ins.
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/skills/skills.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+
+/// Parameters for Zipf-distributed skill assignment.
+struct ZipfSkillParams {
+  uint32_t num_skills = 500;
+  /// Zipf exponent of the skill-frequency distribution.
+  double exponent = 1.0;
+  /// Average number of skills per user; total assignments ≈ n * this.
+  double mean_skills_per_user = 3.0;
+  /// When true, every user is guaranteed at least one skill.
+  bool every_user_has_skill = true;
+};
+
+/// Draws a skill assignment for `num_users` users: skill frequencies follow
+/// Zipf(`exponent`), and each assignment lands on a uniformly random user.
+SkillAssignment ZipfSkills(uint32_t num_users, const ZipfSkillParams& params,
+                           Rng* rng);
+
+/// Generates a random task of `k` distinct skills ("for a given task of
+/// size k, we generated tasks by randomly selecting k skills").
+/// Only skills with at least one holder are eligible, matching the paper's
+/// use of skills observed in the data. Requires k <= #non-empty skills.
+Task RandomTask(const SkillAssignment& sa, uint32_t k, Rng* rng);
+
+/// Generates `count` random tasks of size `k`.
+std::vector<Task> RandomTasks(const SkillAssignment& sa, uint32_t k,
+                              uint32_t count, Rng* rng);
+
+}  // namespace tfsn

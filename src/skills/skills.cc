@@ -1,0 +1,116 @@
+#include "src/skills/skills.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/logging.h"
+
+namespace tfsn {
+
+Result<SkillAssignment> SkillAssignment::Create(
+    std::vector<std::vector<SkillId>> user_skills, uint32_t num_skills) {
+  SkillAssignment sa;
+  uint32_t max_skill = 0;
+  uint64_t total = 0;
+  for (auto& skills : user_skills) {
+    std::sort(skills.begin(), skills.end());
+    skills.erase(std::unique(skills.begin(), skills.end()), skills.end());
+    for (SkillId s : skills) max_skill = std::max(max_skill, s + 1);
+    total += skills.size();
+  }
+  if (num_skills == 0) {
+    num_skills = max_skill;
+  } else if (max_skill > num_skills) {
+    return Status::InvalidArgument("skill id exceeds declared num_skills");
+  }
+
+  sa.user_offsets_.reserve(user_skills.size() + 1);
+  sa.user_skills_.reserve(total);
+  for (const auto& skills : user_skills) {
+    sa.user_skills_.insert(sa.user_skills_.end(), skills.begin(), skills.end());
+    sa.user_offsets_.push_back(sa.user_skills_.size());
+  }
+
+  // Inverted index.
+  std::vector<uint32_t> freq(num_skills, 0);
+  for (SkillId s : sa.user_skills_) ++freq[s];
+  sa.skill_offsets_.assign(num_skills + 1, 0);
+  for (uint32_t s = 0; s < num_skills; ++s) {
+    sa.skill_offsets_[s + 1] = sa.skill_offsets_[s] + freq[s];
+  }
+  sa.skill_users_.resize(total);
+  std::vector<uint64_t> cursor(sa.skill_offsets_.begin(),
+                               sa.skill_offsets_.end() - 1);
+  for (uint32_t u = 0; u < user_skills.size(); ++u) {
+    for (SkillId s : user_skills[u]) {
+      sa.skill_users_[cursor[s]++] = u;
+    }
+  }
+  return sa;
+}
+
+bool SkillAssignment::HasSkill(uint32_t user, SkillId skill) const {
+  auto skills = SkillsOf(user);
+  return std::binary_search(skills.begin(), skills.end(), skill);
+}
+
+std::string SkillAssignment::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "SkillAssignment(users=%u, skills=%u, assignments=%llu)",
+                num_users(), num_skills(),
+                static_cast<unsigned long long>(num_assignments()));
+  return buf;
+}
+
+Task::Task(std::vector<SkillId> skills) : skills_(std::move(skills)) {
+  std::sort(skills_.begin(), skills_.end());
+  skills_.erase(std::unique(skills_.begin(), skills_.end()), skills_.end());
+}
+
+bool Task::Contains(SkillId s) const {
+  return std::binary_search(skills_.begin(), skills_.end(), s);
+}
+
+SkillCoverage::SkillCoverage(const Task& task)
+    : task_skills_(task.skills().begin(), task.skills().end()),
+      covered_(task_skills_.size(), false),
+      remaining_(static_cast<uint32_t>(task_skills_.size())) {}
+
+uint32_t SkillCoverage::Cover(std::span<const SkillId> user_skills) {
+  uint32_t newly = 0;
+  // Both sequences are sorted: merge-intersect.
+  size_t i = 0, j = 0;
+  while (i < task_skills_.size() && j < user_skills.size()) {
+    if (task_skills_[i] < user_skills[j]) {
+      ++i;
+    } else if (task_skills_[i] > user_skills[j]) {
+      ++j;
+    } else {
+      if (!covered_[i]) {
+        covered_[i] = true;
+        ++newly;
+        --remaining_;
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return newly;
+}
+
+bool SkillCoverage::IsCovered(SkillId s) const {
+  auto it = std::lower_bound(task_skills_.begin(), task_skills_.end(), s);
+  TFSN_CHECK(it != task_skills_.end() && *it == s);
+  return covered_[static_cast<size_t>(it - task_skills_.begin())];
+}
+
+std::vector<SkillId> SkillCoverage::Uncovered() const {
+  std::vector<SkillId> out;
+  for (size_t i = 0; i < task_skills_.size(); ++i) {
+    if (!covered_[i]) out.push_back(task_skills_[i]);
+  }
+  return out;
+}
+
+}  // namespace tfsn

@@ -1,0 +1,110 @@
+// Skill universe and per-user skill assignment (paper Section 2).
+//
+// Each individual u possesses skill(u) ⊆ S. SkillAssignment stores both the
+// forward map (user -> skills) and the inverted index (skill -> holders)
+// because team formation consults both directions heavily.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace tfsn {
+
+/// Skill identifier; dense ids in [0, num_skills).
+using SkillId = uint32_t;
+
+/// Per-user skill sets with an inverted skill->holders index.
+class SkillAssignment {
+ public:
+  SkillAssignment() = default;
+
+  /// Builds from a user -> skill-list map. Skill lists are deduplicated and
+  /// sorted. `num_skills` must be an upper bound on all skill ids; pass 0 to
+  /// infer it as (max id + 1).
+  static Result<SkillAssignment> Create(
+      std::vector<std::vector<SkillId>> user_skills, uint32_t num_skills = 0);
+
+  uint32_t num_users() const { return static_cast<uint32_t>(user_offsets_.size()) - 1; }
+  uint32_t num_skills() const { return static_cast<uint32_t>(skill_offsets_.size()) - 1; }
+
+  /// Skills of user u, sorted ascending.
+  std::span<const SkillId> SkillsOf(uint32_t user) const {
+    return {user_skills_.data() + user_offsets_[user],
+            user_skills_.data() + user_offsets_[user + 1]};
+  }
+
+  /// Users holding skill s, sorted ascending.
+  std::span<const uint32_t> Holders(SkillId skill) const {
+    return {skill_users_.data() + skill_offsets_[skill],
+            skill_users_.data() + skill_offsets_[skill + 1]};
+  }
+
+  /// True if user u possesses skill s. O(log |skills(u)|).
+  bool HasSkill(uint32_t user, SkillId skill) const;
+
+  /// Number of holders of skill s.
+  uint32_t Frequency(SkillId skill) const {
+    return static_cast<uint32_t>(skill_offsets_[skill + 1] - skill_offsets_[skill]);
+  }
+
+  /// Total number of (user, skill) assignments.
+  uint64_t num_assignments() const { return user_skills_.size(); }
+
+  /// One-line summary.
+  std::string ToString() const;
+
+ private:
+  // CSR in both directions.
+  std::vector<uint64_t> user_offsets_{0};
+  std::vector<SkillId> user_skills_;
+  std::vector<uint64_t> skill_offsets_{0};
+  std::vector<uint32_t> skill_users_;
+};
+
+/// A task: the set of skills required (paper: T ⊆ S). Stored sorted and
+/// deduplicated.
+class Task {
+ public:
+  Task() = default;
+  explicit Task(std::vector<SkillId> skills);
+
+  std::span<const SkillId> skills() const { return skills_; }
+  size_t size() const { return skills_.size(); }
+  bool empty() const { return skills_.empty(); }
+  bool Contains(SkillId s) const;
+
+  bool operator==(const Task&) const = default;
+
+ private:
+  std::vector<SkillId> skills_;
+};
+
+/// Tracks which skills of a task are already covered during greedy team
+/// construction.
+class SkillCoverage {
+ public:
+  explicit SkillCoverage(const Task& task);
+
+  /// Marks every task skill of `user_skills` covered; returns the number of
+  /// newly covered skills.
+  uint32_t Cover(std::span<const SkillId> user_skills);
+
+  bool IsCovered(SkillId s) const;
+  bool AllCovered() const { return remaining_ == 0; }
+  uint32_t remaining() const { return remaining_; }
+
+  /// Task skills not yet covered, ascending.
+  std::vector<SkillId> Uncovered() const;
+
+ private:
+  std::vector<SkillId> task_skills_;  // sorted
+  std::vector<bool> covered_;         // parallel to task_skills_
+  uint32_t remaining_ = 0;
+};
+
+}  // namespace tfsn

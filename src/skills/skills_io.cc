@@ -1,0 +1,74 @@
+#include "src/skills/skills_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace tfsn {
+
+std::string ToSkillsString(const SkillAssignment& sa) {
+  std::string out = "# tfsn skills: one line per user\n!skills " +
+                    std::to_string(sa.num_skills()) + "\n";
+  for (uint32_t u = 0; u < sa.num_users(); ++u) {
+    bool first = true;
+    for (SkillId s : sa.SkillsOf(u)) {
+      if (!first) out += ' ';
+      out += std::to_string(s);
+      first = false;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<SkillAssignment> ParseSkills(const std::string& text) {
+  std::istringstream in(text);
+  std::vector<std::vector<SkillId>> users;
+  uint32_t num_skills = 0;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line[0] == '#') continue;
+    if (line.rfind("!skills", 0) == 0) {
+      std::istringstream directive(line.substr(7));
+      if (!(directive >> num_skills)) {
+        return Status::IOError("bad !skills directive at line " +
+                               std::to_string(line_no));
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    std::vector<SkillId> skills;
+    int64_t raw;
+    while (ls >> raw) {
+      if (raw < 0) {
+        return Status::IOError("negative skill id at line " +
+                               std::to_string(line_no));
+      }
+      skills.push_back(static_cast<SkillId>(raw));
+    }
+    if (!ls.eof()) {
+      return Status::IOError("malformed skill line " + std::to_string(line_no));
+    }
+    users.push_back(std::move(skills));
+  }
+  return SkillAssignment::Create(std::move(users), num_skills);
+}
+
+Status WriteSkills(const SkillAssignment& sa, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << ToSkillsString(sa);
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<SkillAssignment> LoadSkills(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseSkills(buffer.str());
+}
+
+}  // namespace tfsn

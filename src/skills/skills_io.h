@@ -1,0 +1,30 @@
+// Skill-assignment serialization.
+//
+// Format, one line per user (dense user ids implied by line order):
+//   # comments allowed
+//   <skill> <skill> ...        (empty line = user with no skills)
+// A leading "!skills <n>" directive pins the universe size so that trailing
+// skills with no holders survive a round trip.
+
+#pragma once
+
+#include <string>
+
+#include "src/skills/skills.h"
+#include "src/util/result.h"
+
+namespace tfsn {
+
+/// Serializes to the line format above.
+std::string ToSkillsString(const SkillAssignment& sa);
+
+/// Parses the line format (used by tests and LoadSkills).
+Result<SkillAssignment> ParseSkills(const std::string& text);
+
+/// Writes `sa` to `path`.
+Status WriteSkills(const SkillAssignment& sa, const std::string& path);
+
+/// Loads a skill assignment from `path`.
+Result<SkillAssignment> LoadSkills(const std::string& path);
+
+}  // namespace tfsn

@@ -1,0 +1,91 @@
+#include "src/team/cost.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/graph/bfs.h"
+
+namespace tfsn {
+
+uint32_t TeamDiameter(CompatibilityOracle* oracle,
+                      std::span<const NodeId> team) {
+  uint32_t diameter = 0;
+  for (size_t i = 0; i < team.size(); ++i) {
+    for (size_t j = i + 1; j < team.size(); ++j) {
+      uint32_t d = oracle->Distance(team[i], team[j]);
+      if (d == kUnreachable) return kUnreachable;
+      diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+const char* CostKindName(CostKind kind) {
+  switch (kind) {
+    case CostKind::kDiameter: return "Diameter";
+    case CostKind::kSumOfPairs: return "SumOfPairs";
+    case CostKind::kCenterStar: return "CenterStar";
+  }
+  return "?";
+}
+
+uint64_t TeamCost(CompatibilityOracle* oracle, std::span<const NodeId> team,
+                  CostKind kind) {
+  constexpr uint64_t kInfinite = std::numeric_limits<uint64_t>::max();
+  if (team.size() <= 1) return 0;
+  switch (kind) {
+    case CostKind::kDiameter: {
+      uint32_t d = TeamDiameter(oracle, team);
+      return d == kUnreachable ? kInfinite : d;
+    }
+    case CostKind::kSumOfPairs: {
+      uint64_t sum = 0;
+      for (size_t i = 0; i < team.size(); ++i) {
+        for (size_t j = i + 1; j < team.size(); ++j) {
+          uint32_t d = oracle->Distance(team[i], team[j]);
+          if (d == kUnreachable) return kInfinite;
+          sum += d;
+        }
+      }
+      return sum;
+    }
+    case CostKind::kCenterStar: {
+      uint64_t best = kInfinite;
+      for (size_t c = 0; c < team.size(); ++c) {
+        uint64_t star = 0;
+        bool ok = true;
+        for (size_t i = 0; i < team.size(); ++i) {
+          if (i == c) continue;
+          uint32_t d = oracle->Distance(team[c], team[i]);
+          if (d == kUnreachable) {
+            ok = false;
+            break;
+          }
+          star += d;
+        }
+        if (ok) best = std::min(best, star);
+      }
+      return best;
+    }
+  }
+  return kInfinite;
+}
+
+bool TeamCompatible(CompatibilityOracle* oracle,
+                    std::span<const NodeId> team) {
+  for (size_t i = 0; i < team.size(); ++i) {
+    for (size_t j = i + 1; j < team.size(); ++j) {
+      if (!oracle->Compatible(team[i], team[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool TeamCoversTask(const SkillAssignment& skills, const Task& task,
+                    std::span<const NodeId> team) {
+  SkillCoverage coverage(task);
+  for (NodeId u : team) coverage.Cover(skills.SkillsOf(u));
+  return coverage.AllCovered();
+}
+
+}  // namespace tfsn

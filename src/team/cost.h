@@ -1,0 +1,49 @@
+// Team communication cost and validity checks (paper Sections 2 and 4).
+//
+// Cost(X) is the largest relation distance between any two team members
+// (the team "diameter" under the compatibility-specific distance).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/compat/compatibility.h"
+#include "src/skills/skills.h"
+
+namespace tfsn {
+
+/// Cost(X): max pairwise oracle distance; 0 for teams of size <= 1;
+/// kUnreachable if any pair has no finite relation distance.
+uint32_t TeamDiameter(CompatibilityOracle* oracle,
+                      std::span<const NodeId> team);
+
+/// Alternative communication-cost objectives (the paper's future work asks
+/// for "different ways to combine compatibility and communication cost").
+enum class CostKind : uint8_t {
+  /// Max pairwise distance — the paper's Cost(X).
+  kDiameter,
+  /// Sum of all pairwise distances (the SUM-DISTANCE objective of
+  /// Kargar & An).
+  kSumOfPairs,
+  /// Min over members c of the sum of distances from c to the rest (a
+  /// leader/star objective).
+  kCenterStar,
+};
+
+const char* CostKindName(CostKind kind);
+
+/// Evaluates the chosen objective; kUnreachable-valued pairs poison the
+/// cost to kUnreachable (as uint64). 0 for teams of size <= 1.
+uint64_t TeamCost(CompatibilityOracle* oracle, std::span<const NodeId> team,
+                  CostKind kind);
+
+/// True iff every pair of members is compatible (requirement (2) of
+/// Definition 2.1). Vacuously true for teams of size <= 1.
+bool TeamCompatible(CompatibilityOracle* oracle, std::span<const NodeId> team);
+
+/// True iff the members collectively cover the task (requirement (1)).
+bool TeamCoversTask(const SkillAssignment& skills, const Task& task,
+                    std::span<const NodeId> team);
+
+}  // namespace tfsn

@@ -1,0 +1,108 @@
+#include "src/team/exact.h"
+
+#include <algorithm>
+
+#include "src/graph/bfs.h"
+#include "src/team/cost.h"
+#include "src/util/logging.h"
+
+namespace tfsn {
+
+namespace {
+
+class Solver {
+ public:
+  Solver(CompatibilityOracle* oracle, const SkillAssignment& skills,
+         const Task& task, const ExactParams& params)
+      : oracle_(oracle), skills_(skills), task_(task), params_(params) {}
+
+  ExactResult Run() {
+    SkillCoverage coverage(task_);
+    Branch(&coverage, 0);
+    result_.expansions = expansions_;
+    result_.exhausted = exhausted_;
+    if (result_.found) std::sort(result_.members.begin(), result_.members.end());
+    return result_;
+  }
+
+ private:
+  // Depth-first branch & bound. `cost_so_far` is the diameter of team_.
+  void Branch(SkillCoverage* coverage, uint32_t cost_so_far) {
+    if (exhausted_) return;
+    if (result_.found && params_.feasibility_only) return;
+    if (++expansions_ > params_.expansion_budget) {
+      exhausted_ = true;
+      return;
+    }
+    if (coverage->AllCovered()) {
+      if (!result_.found || cost_so_far < result_.cost) {
+        result_.found = true;
+        result_.cost = cost_so_far;
+        result_.members = team_;
+      }
+      return;
+    }
+    if (result_.found && !params_.feasibility_only &&
+        cost_so_far >= result_.cost) {
+      return;  // cannot improve the incumbent
+    }
+    // Branch on the uncovered skill with the fewest holders.
+    std::vector<SkillId> uncovered = coverage->Uncovered();
+    SkillId pick = uncovered[0];
+    for (SkillId s : uncovered) {
+      if (skills_.Frequency(s) < skills_.Frequency(pick)) pick = s;
+    }
+    for (NodeId v : skills_.Holders(pick)) {
+      if (std::find(team_.begin(), team_.end(), v) != team_.end()) continue;
+      // Compatibility with the whole partial team, and the new diameter.
+      bool ok = true;
+      uint32_t new_cost = cost_so_far;
+      for (NodeId x : team_) {
+        if (!oracle_->Compatible(x, v)) {
+          ok = false;
+          break;
+        }
+        uint32_t d = oracle_->Distance(x, v);
+        new_cost = std::max(new_cost, d);
+      }
+      if (!ok) continue;
+      if (result_.found && !params_.feasibility_only &&
+          new_cost >= result_.cost) {
+        continue;
+      }
+      team_.push_back(v);
+      SkillCoverage next = *coverage;
+      next.Cover(skills_.SkillsOf(v));
+      Branch(&next, new_cost);
+      team_.pop_back();
+      if (exhausted_) return;
+      if (result_.found && params_.feasibility_only) return;
+    }
+  }
+
+  CompatibilityOracle* oracle_;
+  const SkillAssignment& skills_;
+  const Task& task_;
+  ExactParams params_;
+  std::vector<NodeId> team_;
+  ExactResult result_;
+  uint64_t expansions_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+ExactResult SolveExact(CompatibilityOracle* oracle,
+                       const SkillAssignment& skills, const Task& task,
+                       ExactParams params) {
+  TFSN_CHECK(oracle != nullptr);
+  if (task.empty()) {
+    ExactResult r;
+    r.found = true;
+    return r;
+  }
+  Solver solver(oracle, skills, task, params);
+  return solver.Run();
+}
+
+}  // namespace tfsn

@@ -1,0 +1,43 @@
+// Exact TFSN / TFSNC solver by branch & bound.
+//
+// Theorem 2.2 of the paper: even deciding whether *any* compatible skill-
+// covering team exists (TFSNC) is NP-hard, so this solver is exponential
+// and intended for small instances — it provides ground truth for tests
+// and quantifies the greedy heuristic's optimality gap in ablations.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/compat/compatibility.h"
+#include "src/skills/skills.h"
+
+namespace tfsn {
+
+/// Tuning for the exact solver.
+struct ExactParams {
+  /// Node-expansion budget; the search reports `exhausted` when exceeded.
+  uint64_t expansion_budget = 5'000'000;
+  /// When true, stop at the first feasible team (decide TFSNC) instead of
+  /// minimizing cost (solve TFSN).
+  bool feasibility_only = false;
+};
+
+/// Result of an exact solve.
+struct ExactResult {
+  bool found = false;
+  std::vector<NodeId> members;  ///< optimal team (sorted) when found
+  uint32_t cost = 0;            ///< its diameter under the relation distance
+  bool exhausted = false;       ///< budget ran out; result may be suboptimal
+  uint64_t expansions = 0;
+};
+
+/// Solves TFSN (min-cost compatible covering team) exactly: branches on the
+/// uncovered skill with the fewest remaining holders, pruning on pairwise
+/// compatibility and on the incumbent cost.
+ExactResult SolveExact(CompatibilityOracle* oracle,
+                       const SkillAssignment& skills, const Task& task,
+                       ExactParams params = {});
+
+}  // namespace tfsn

@@ -1,0 +1,289 @@
+#include "src/team/greedy.h"
+
+#include <algorithm>
+
+#include "src/graph/bfs.h"
+#include "src/team/cost.h"
+#include "src/util/logging.h"
+
+namespace tfsn {
+
+const char* SkillPolicyName(SkillPolicy p) {
+  switch (p) {
+    case SkillPolicy::kRarest: return "Rarest";
+    case SkillPolicy::kLeastCompatible: return "LeastCompatible";
+  }
+  return "?";
+}
+
+const char* UserPolicyName(UserPolicy p) {
+  switch (p) {
+    case UserPolicy::kMinDistance: return "MinDistance";
+    case UserPolicy::kMostCompatible: return "MostCompatible";
+    case UserPolicy::kRandom: return "Random";
+  }
+  return "?";
+}
+
+GreedyTeamFormer::GreedyTeamFormer(CompatibilityOracle* oracle,
+                                   const SkillAssignment& skills,
+                                   const SkillCompatibilityIndex* index,
+                                   GreedyParams params)
+    : oracle_(oracle), skills_(skills), index_(index), params_(params) {
+  TFSN_CHECK(oracle != nullptr);
+  if (params_.skill_policy == SkillPolicy::kLeastCompatible) {
+    TFSN_CHECK(index != nullptr);
+  }
+}
+
+SkillId GreedyTeamFormer::SelectSkill(
+    const std::vector<SkillId>& uncovered) const {
+  TFSN_CHECK(!uncovered.empty());
+  SkillId best = uncovered[0];
+  for (SkillId s : uncovered) {
+    switch (params_.skill_policy) {
+      case SkillPolicy::kRarest:
+        if (skills_.Frequency(s) < skills_.Frequency(best)) best = s;
+        break;
+      case SkillPolicy::kLeastCompatible:
+        if (index_->Degree(s) < index_->Degree(best)) best = s;
+        break;
+    }
+  }
+  return best;
+}
+
+NodeId GreedyTeamFormer::SelectUser(SkillId skill,
+                                    const std::vector<NodeId>& team,
+                                    const std::vector<SkillId>& uncovered_after,
+                                    Rng* rng) {
+  auto holders = skills_.Holders(skill);
+  // Collect holders compatible with the whole current team. Compatibility
+  // tests stream the cached rows of the (few) team members, so this is
+  // O(|team| * |holders|) row lookups.
+  std::vector<NodeId> candidates;
+  for (NodeId v : holders) {
+    bool in_team = std::find(team.begin(), team.end(), v) != team.end();
+    if (in_team) continue;
+    bool ok = true;
+    for (NodeId x : team) {
+      if (!oracle_->Compatible(x, v)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) candidates.push_back(v);
+  }
+  if (candidates.empty()) return kInvalidNode;
+
+  switch (params_.user_policy) {
+    case UserPolicy::kMinDistance: {
+      NodeId best = kInvalidNode;
+      uint64_t best_score = ~0ULL;
+      for (NodeId v : candidates) {
+        uint32_t worst = 0;
+        for (NodeId x : team) {
+          uint32_t d = oracle_->Distance(x, v);
+          worst = std::max(worst, d);
+          if (worst >= best_score) break;
+        }
+        if (worst < best_score) {
+          best_score = worst;
+          best = v;
+        }
+      }
+      return best;
+    }
+    case UserPolicy::kMostCompatible: {
+      // Score each candidate by how many holders of the still-uncovered
+      // skills it is compatible with (greedy for keeping the search alive).
+      std::vector<NodeId> pool;
+      for (SkillId s : uncovered_after) {
+        auto hs = skills_.Holders(s);
+        pool.insert(pool.end(), hs.begin(), hs.end());
+      }
+      std::sort(pool.begin(), pool.end());
+      pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+      if (params_.most_compatible_pool_cap > 0 &&
+          pool.size() > params_.most_compatible_pool_cap) {
+        // Deterministic thinning: keep an evenly spaced subset.
+        std::vector<NodeId> thin;
+        thin.reserve(params_.most_compatible_pool_cap);
+        double step = static_cast<double>(pool.size()) /
+                      params_.most_compatible_pool_cap;
+        for (uint32_t i = 0; i < params_.most_compatible_pool_cap; ++i) {
+          thin.push_back(pool[static_cast<size_t>(i * step)]);
+        }
+        pool.swap(thin);
+      }
+      NodeId best = kInvalidNode;
+      int64_t best_score = -1;
+      for (NodeId v : candidates) {
+        const auto& row = oracle_->GetRow(v);
+        int64_t score = 0;
+        for (NodeId w : pool) score += row.comp[w] != 0;
+        if (score > best_score) {
+          best_score = score;
+          best = v;
+        }
+      }
+      return best;
+    }
+    case UserPolicy::kRandom: {
+      TFSN_CHECK(rng != nullptr);
+      return candidates[rng->NextBounded(candidates.size())];
+    }
+  }
+  return kInvalidNode;
+}
+
+// Runs the seed loop of Algorithm 2 and collects every successful candidate
+// team into `sink` (members sorted, costs evaluated). Returns (seeds tried,
+// seeds succeeded).
+std::pair<uint32_t, uint32_t> GreedyTeamFormer::EnumerateCandidates(
+    const Task& task, Rng* rng, std::vector<TeamResult>* sink) {
+  // Initial skill (line 3) over the whole task.
+  std::vector<SkillId> all_skills(task.skills().begin(), task.skills().end());
+  SkillId first = SelectSkill(all_skills);
+
+  // Seed set: holders of the initial skill, optionally capped by sampling.
+  auto holders = skills_.Holders(first);
+  std::vector<NodeId> seeds(holders.begin(), holders.end());
+  if (params_.max_seeds > 0 && seeds.size() > params_.max_seeds) {
+    TFSN_CHECK(rng != nullptr);
+    std::vector<uint32_t> picks = rng->SampleWithoutReplacement(
+        static_cast<uint32_t>(seeds.size()), params_.max_seeds);
+    std::sort(picks.begin(), picks.end());
+    std::vector<NodeId> sampled;
+    sampled.reserve(picks.size());
+    for (uint32_t p : picks) sampled.push_back(seeds[p]);
+    seeds.swap(sampled);
+  }
+
+  uint32_t tried = 0, succeeded = 0;
+  for (NodeId seed : seeds) {
+    ++tried;
+    std::vector<NodeId> team{seed};
+    SkillCoverage coverage(task);
+    coverage.Cover(skills_.SkillsOf(seed));
+    bool failed = false;
+    while (!coverage.AllCovered()) {
+      std::vector<SkillId> uncovered = coverage.Uncovered();
+      SkillId s = SelectSkill(uncovered);  // line 8
+      // Skills still uncovered after s is handled; used by kMostCompatible.
+      std::vector<SkillId> rest;
+      for (SkillId t : uncovered) {
+        if (t != s) rest.push_back(t);
+      }
+      NodeId v = SelectUser(s, team, rest, rng);  // lines 9-10
+      if (v == kInvalidNode) {
+        failed = true;
+        break;
+      }
+      team.push_back(v);
+      coverage.Cover(skills_.SkillsOf(v));
+    }
+    if (failed) continue;
+    ++succeeded;
+    TeamResult candidate;
+    candidate.found = true;
+    std::sort(team.begin(), team.end());
+    candidate.cost = TeamDiameter(oracle_, team);
+    candidate.objective = TeamCost(oracle_, team, params_.cost_kind);
+    candidate.members = std::move(team);
+    sink->push_back(std::move(candidate));
+  }
+  return {tried, succeeded};
+}
+
+TeamResult GreedyTeamFormer::Form(const Task& task, Rng* rng) {
+  TeamResult result;
+  if (task.empty()) {
+    result.found = true;
+    return result;
+  }
+  std::vector<TeamResult> candidates;
+  auto [tried, succeeded] = EnumerateCandidates(task, rng, &candidates);
+  result.seeds_tried = tried;
+  result.seeds_succeeded = succeeded;
+  const TeamResult* best = nullptr;
+  for (const TeamResult& c : candidates) {
+    if (best == nullptr || c.objective < best->objective ||
+        (c.objective == best->objective &&
+         c.members.size() < best->members.size())) {
+      best = &c;
+    }
+  }
+  if (best != nullptr) {
+    result.found = true;
+    result.members = best->members;
+    result.cost = best->cost;
+    result.objective = best->objective;
+  }
+  return result;
+}
+
+std::vector<TeamResult> GreedyTeamFormer::FormTopK(const Task& task,
+                                                   uint32_t k, Rng* rng) {
+  std::vector<TeamResult> candidates;
+  if (task.empty() || k == 0) return candidates;
+  EnumerateCandidates(task, rng, &candidates);
+  std::sort(candidates.begin(), candidates.end(),
+            [](const TeamResult& a, const TeamResult& b) {
+              if (a.objective != b.objective) return a.objective < b.objective;
+              if (a.members.size() != b.members.size()) {
+                return a.members.size() < b.members.size();
+              }
+              return a.members < b.members;
+            });
+  // Deduplicate identical member sets (different seeds can converge).
+  candidates.erase(std::unique(candidates.begin(), candidates.end(),
+                               [](const TeamResult& a, const TeamResult& b) {
+                                 return a.members == b.members;
+                               }),
+                   candidates.end());
+  if (candidates.size() > k) candidates.resize(k);
+  return candidates;
+}
+
+bool TaskSkillsCompatible(const SkillCompatibilityIndex& index,
+                          const Task& task) {
+  auto skills = task.skills();
+  for (size_t i = 0; i < skills.size(); ++i) {
+    for (size_t j = i + 1; j < skills.size(); ++j) {
+      if (!index.SkillsCompatible(skills[i], skills[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool TaskSkillsCompatibleExact(CompatibilityOracle* oracle,
+                               const SkillAssignment& skills,
+                               const Task& task) {
+  auto task_skills = task.skills();
+  for (size_t i = 0; i < task_skills.size(); ++i) {
+    for (size_t j = i + 1; j < task_skills.size(); ++j) {
+      auto hs = skills.Holders(task_skills[i]);
+      auto ht = skills.Holders(task_skills[j]);
+      if (hs.empty() || ht.empty()) return false;
+      // Fetch rows from the smaller side.
+      if (ht.size() < hs.size()) std::swap(hs, ht);
+      bool found = false;
+      for (NodeId u : hs) {
+        const auto& row = oracle->GetRow(u);
+        for (NodeId v : ht) {
+          // comp[u] itself covers the self-compatibility case (u == v).
+          if (row.comp[v]) {
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+      }
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tfsn

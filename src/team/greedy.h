@@ -1,0 +1,143 @@
+// Algorithm 2 of the paper: generic greedy team formation with pluggable
+// skill-selection and user-selection policies.
+//
+// The algorithm seeds a candidate team with each holder of an initial skill
+// and then repeatedly (a) picks an uncovered skill by the skill policy and
+// (b) adds a holder of that skill compatible with every current member,
+// chosen by the user policy — until the task is covered or no compatible
+// holder exists. The best-cost candidate team over all seeds is returned.
+//
+// Named configurations from the paper's evaluation:
+//   LCMD   — least-compatible skill first, minimum-distance user.
+//   LCMC   — least-compatible skill first, most-compatible user.
+//   RANDOM — least-compatible skill first, uniformly random compatible user.
+// plus the rarest-skill variants of [Lappas et al. 2009].
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/compat/compatibility.h"
+#include "src/compat/skill_index.h"
+#include "src/skills/skills.h"
+#include "src/team/cost.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+
+/// Policy for "Select skill" (lines 3 and 8 of Algorithm 2).
+enum class SkillPolicy : uint8_t {
+  /// Fewest holders first, as in the unsigned problem [9].
+  kRarest,
+  /// Smallest compatibility degree cd(s) first (needs a
+  /// SkillCompatibilityIndex).
+  kLeastCompatible,
+};
+
+/// Policy for "Select user" (line 9 of Algorithm 2).
+enum class UserPolicy : uint8_t {
+  /// Minimizes the maximum distance to the current team (i.e. the team
+  /// diameter after insertion).
+  kMinDistance,
+  /// Maximizes the number of compatible users among the holders of the
+  /// still-uncovered skills (greedy for feasibility).
+  kMostCompatible,
+  /// Uniformly random compatible holder (the paper's RANDOM baseline).
+  kRandom,
+};
+
+const char* SkillPolicyName(SkillPolicy p);
+const char* UserPolicyName(UserPolicy p);
+
+/// Tuning for the greedy former.
+struct GreedyParams {
+  SkillPolicy skill_policy = SkillPolicy::kLeastCompatible;
+  UserPolicy user_policy = UserPolicy::kMinDistance;
+  /// Cap on seed users tried for the initial skill (0 = all holders). The
+  /// paper iterates all holders; the cap keeps dense skills tractable.
+  uint32_t max_seeds = 0;
+  /// kMostCompatible only: cap on future-holder candidates examined per
+  /// compatibility count (0 = all).
+  uint32_t most_compatible_pool_cap = 256;
+  /// Objective used to pick the best candidate team across seeds (the
+  /// paper uses the diameter). The kMinDistance user policy always greedily
+  /// bounds the diameter; this only changes the final argmin.
+  CostKind cost_kind = CostKind::kDiameter;
+};
+
+/// Outcome of one team-formation run.
+struct TeamResult {
+  /// True when a team covering the task with all-pairs compatibility was
+  /// found.
+  bool found = false;
+  /// Team members (sorted by id) when found.
+  std::vector<NodeId> members;
+  /// Cost(X): max pairwise relation distance; kUnreachable when some pair
+  /// has no finite relation distance.
+  uint32_t cost = 0;
+  /// Value of the configured cost objective (equals `cost` for kDiameter).
+  uint64_t objective = 0;
+  /// Number of seed users attempted.
+  uint32_t seeds_tried = 0;
+  /// Seeds whose greedy completion succeeded.
+  uint32_t seeds_succeeded = 0;
+};
+
+/// Greedy team former bound to one (graph, skills, relation) triple.
+class GreedyTeamFormer {
+ public:
+  /// `index` is required when any policy is kLeastCompatible or when using
+  /// MAX-bound helpers; may be nullptr otherwise. All referees must outlive
+  /// the former.
+  GreedyTeamFormer(CompatibilityOracle* oracle, const SkillAssignment& skills,
+                   const SkillCompatibilityIndex* index, GreedyParams params);
+
+  /// Runs Algorithm 2 on `task`. `rng` drives seed sampling and the RANDOM
+  /// user policy (must be non-null when either is in play).
+  TeamResult Form(const Task& task, Rng* rng);
+
+  /// Like Form but returns up to `k` *distinct* candidate teams (one per
+  /// successful seed), sorted by the configured cost objective ascending —
+  /// top-k team enumeration in the spirit of Kargar & An (CIKM'11).
+  std::vector<TeamResult> FormTopK(const Task& task, uint32_t k, Rng* rng);
+
+  const GreedyParams& params() const { return params_; }
+
+ private:
+  std::pair<uint32_t, uint32_t> EnumerateCandidates(
+      const Task& task, Rng* rng, std::vector<TeamResult>* sink);
+
+  /// Orders `skills` by the configured skill policy (ascending priority:
+  /// element 0 is picked first).
+  SkillId SelectSkill(const std::vector<SkillId>& uncovered) const;
+
+  /// Picks a holder of `skill` compatible with all of `team`, or
+  /// kInvalidNode. Candidates already in the team are skipped (they cannot
+  /// hold the skill — it is uncovered — but guard anyway).
+  NodeId SelectUser(SkillId skill, const std::vector<NodeId>& team,
+                    const std::vector<SkillId>& uncovered_after, Rng* rng);
+
+  CompatibilityOracle* oracle_;
+  const SkillAssignment& skills_;
+  const SkillCompatibilityIndex* index_;
+  GreedyParams params_;
+};
+
+/// MAX bound of Figure 2(a): true iff every pair of task skills is
+/// compatible per the index — a necessary condition for any compatible
+/// team (based on skills, not users; a rough upper bound). Exact only when
+/// the index was built from all sources.
+bool TaskSkillsCompatible(const SkillCompatibilityIndex& index,
+                          const Task& task);
+
+/// Exact MAX bound: for every pair of task skills checks directly whether
+/// some compatible holder pair exists (including one user holding both).
+/// Streams cached oracle rows with early exit, so solvable tasks are cheap.
+bool TaskSkillsCompatibleExact(CompatibilityOracle* oracle,
+                               const SkillAssignment& skills,
+                               const Task& task);
+
+}  // namespace tfsn

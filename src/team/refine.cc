@@ -1,0 +1,132 @@
+#include "src/team/refine.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace tfsn {
+
+namespace {
+
+// Task skills that only `member` provides within `team`.
+std::vector<SkillId> UniqueSkills(const SkillAssignment& skills,
+                                  const Task& task,
+                                  const std::vector<NodeId>& team,
+                                  NodeId member) {
+  std::vector<SkillId> unique;
+  for (SkillId s : task.skills()) {
+    if (!skills.HasSkill(member, s)) continue;
+    bool covered_elsewhere = false;
+    for (NodeId other : team) {
+      if (other != member && skills.HasSkill(other, s)) {
+        covered_elsewhere = true;
+        break;
+      }
+    }
+    if (!covered_elsewhere) unique.push_back(s);
+  }
+  return unique;
+}
+
+bool CompatibleWithAll(CompatibilityOracle* oracle, NodeId v,
+                       const std::vector<NodeId>& team, NodeId skip) {
+  for (NodeId x : team) {
+    if (x == skip || x == v) continue;
+    if (!oracle->Compatible(x, v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RefinementResult RefineTeam(CompatibilityOracle* oracle,
+                            const SkillAssignment& skills, const Task& task,
+                            std::vector<NodeId> team,
+                            const RefineOptions& options) {
+  RefinementResult result;
+  std::sort(team.begin(), team.end());
+  team.erase(std::unique(team.begin(), team.end()), team.end());
+  result.cost_before = TeamCost(oracle, team, options.cost_kind);
+
+  // Phase 1: drop redundant members, best-improvement first.
+  if (options.prune_redundant) {
+    bool removed = true;
+    while (removed && team.size() > 1) {
+      removed = false;
+      size_t best_index = team.size();
+      uint64_t best_cost = TeamCost(oracle, team, options.cost_kind);
+      for (size_t i = 0; i < team.size(); ++i) {
+        if (!UniqueSkills(skills, task, team, team[i]).empty()) continue;
+        std::vector<NodeId> smaller = team;
+        smaller.erase(smaller.begin() + static_cast<int64_t>(i));
+        uint64_t cost = TeamCost(oracle, smaller, options.cost_kind);
+        // Removal never breaks compatibility (subset of a compatible set);
+        // accept any redundant removal, preferring the cheapest result.
+        if (best_index == team.size() || cost < best_cost) {
+          best_index = i;
+          best_cost = cost;
+        }
+      }
+      if (best_index < team.size()) {
+        team.erase(team.begin() + static_cast<int64_t>(best_index));
+        ++result.members_removed;
+        removed = true;
+      }
+    }
+  }
+
+  // Phase 2: swap local search.
+  if (options.swap_members) {
+    for (uint32_t pass = 0; pass < options.max_passes; ++pass) {
+      bool improved = false;
+      for (size_t i = 0; i < team.size(); ++i) {
+        NodeId member = team[i];
+        std::vector<SkillId> needed = UniqueSkills(skills, task, team, member);
+        uint64_t current = TeamCost(oracle, team, options.cost_kind);
+        // Candidates: holders of the rarest needed skill that hold all
+        // needed skills. (Empty `needed` is handled by pruning; skip.)
+        if (needed.empty()) continue;
+        SkillId rarest = needed[0];
+        for (SkillId s : needed) {
+          if (skills.Frequency(s) < skills.Frequency(rarest)) rarest = s;
+        }
+        NodeId best_swap = kInvalidNode;
+        uint64_t best_cost = current;
+        for (NodeId v : skills.Holders(rarest)) {
+          if (v == member) continue;
+          if (std::find(team.begin(), team.end(), v) != team.end()) continue;
+          bool holds_all = true;
+          for (SkillId s : needed) {
+            if (!skills.HasSkill(v, s)) {
+              holds_all = false;
+              break;
+            }
+          }
+          if (!holds_all) continue;
+          if (!CompatibleWithAll(oracle, v, team, member)) continue;
+          std::vector<NodeId> candidate = team;
+          candidate[i] = v;
+          uint64_t cost = TeamCost(oracle, candidate, options.cost_kind);
+          if (cost < best_cost) {
+            best_cost = cost;
+            best_swap = v;
+          }
+        }
+        if (best_swap != kInvalidNode) {
+          team[i] = best_swap;
+          ++result.swaps_applied;
+          improved = true;
+        }
+      }
+      if (!improved) break;
+    }
+  }
+
+  std::sort(team.begin(), team.end());
+  result.cost_after = TeamCost(oracle, team, options.cost_kind);
+  TFSN_CHECK_LE(result.cost_after, result.cost_before);
+  result.members = std::move(team);
+  return result;
+}
+
+}  // namespace tfsn

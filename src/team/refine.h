@@ -1,0 +1,49 @@
+// Post-processing for formed teams: redundancy pruning and swap-based local
+// search. Algorithm 2 is greedy and can (a) keep members whose skills are
+// fully covered by the rest of the team and (b) settle for a distant holder
+// when a closer compatible one exists. Refinement fixes both while
+// preserving the feasibility invariants (coverage + pairwise
+// compatibility), so it never makes a team invalid or costlier.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/compat/compatibility.h"
+#include "src/skills/skills.h"
+#include "src/team/cost.h"
+
+namespace tfsn {
+
+/// What refinement did to a team.
+struct RefinementResult {
+  std::vector<NodeId> members;  ///< refined team, sorted
+  uint64_t cost_before = 0;     ///< objective before refinement
+  uint64_t cost_after = 0;      ///< objective after (never worse)
+  uint32_t members_removed = 0;
+  uint32_t swaps_applied = 0;
+};
+
+/// Options for RefineTeam.
+struct RefineOptions {
+  CostKind cost_kind = CostKind::kDiameter;
+  /// Maximum local-search passes (each pass tries every member).
+  uint32_t max_passes = 8;
+  /// Try removing members whose task skills are covered by the rest.
+  bool prune_redundant = true;
+  /// Try swapping each member for an alternative holder that lowers cost.
+  bool swap_members = true;
+};
+
+/// Refines `team` for `task`: (1) drops redundant members greedily (most
+/// expensive first), (2) repeatedly replaces a member with a compatible
+/// holder of the member's needed skills if that strictly lowers the cost
+/// objective. The returned team always covers the task and stays pairwise
+/// compatible; cost_after <= cost_before.
+RefinementResult RefineTeam(CompatibilityOracle* oracle,
+                            const SkillAssignment& skills, const Task& task,
+                            std::vector<NodeId> team,
+                            const RefineOptions& options = {});
+
+}  // namespace tfsn

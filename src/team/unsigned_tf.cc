@@ -1,0 +1,76 @@
+#include "src/team/unsigned_tf.h"
+
+#include <algorithm>
+
+#include "src/graph/bfs.h"
+#include "src/util/logging.h"
+
+namespace tfsn {
+
+UnsignedTeamResult RarestFirst(const SignedGraph& g,
+                               const SkillAssignment& skills,
+                               const Task& task) {
+  UnsignedTeamResult result;
+  if (task.empty()) {
+    result.found = true;
+    return result;
+  }
+  auto task_skills = task.skills();
+  // Rarest skill.
+  SkillId rare = task_skills[0];
+  for (SkillId s : task_skills) {
+    if (skills.Frequency(s) < skills.Frequency(rare)) rare = s;
+  }
+  if (skills.Frequency(rare) == 0) return result;
+
+  std::vector<NodeId> best_team;
+  uint32_t best_cost = kUnreachable;
+  bool any = false;
+  // Distance cache per team member for the diameter evaluation.
+  for (NodeId seed : skills.Holders(rare)) {
+    std::vector<uint32_t> from_seed = BfsDistances(g, seed);
+    std::vector<NodeId> team{seed};
+    bool failed = false;
+    for (SkillId s : task_skills) {
+      if (s == rare || skills.HasSkill(seed, s)) continue;
+      NodeId closest = kInvalidNode;
+      uint32_t closest_d = kUnreachable;
+      for (NodeId v : skills.Holders(s)) {
+        if (from_seed[v] < closest_d) {
+          closest_d = from_seed[v];
+          closest = v;
+        }
+      }
+      if (closest == kInvalidNode) {
+        failed = true;
+        break;
+      }
+      if (std::find(team.begin(), team.end(), closest) == team.end()) {
+        team.push_back(closest);
+      }
+    }
+    if (failed) continue;
+    // Team diameter in the unsigned graph.
+    uint32_t cost = 0;
+    for (size_t i = 0; i < team.size() && cost != kUnreachable; ++i) {
+      std::vector<uint32_t> d = BfsDistances(g, team[i]);
+      for (size_t j = i + 1; j < team.size(); ++j) {
+        cost = std::max(cost, d[team[j]]);
+      }
+    }
+    if (!any || cost < best_cost) {
+      any = true;
+      best_cost = cost;
+      best_team = team;
+    }
+  }
+  if (any) {
+    result.found = true;
+    std::sort(best_team.begin(), best_team.end());
+    result.members = std::move(best_team);
+    result.cost = best_cost;
+  }
+  return result;
+}
+
+}  // namespace tfsn

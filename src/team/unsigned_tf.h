@@ -1,0 +1,36 @@
+// Unsigned team formation baseline: RarestFirst of Lappas et al. (KDD'09),
+// the algorithm the paper compares against in Table 3.
+//
+// RarestFirst ignores compatibility entirely: it picks the rarest task
+// skill, and for each of its holders builds a team by adding, for every
+// other task skill, the holder closest to the seed; the seed whose team has
+// the smallest diameter wins. The paper runs it on two unsigned versions of
+// the signed network — signs ignored, and negative edges deleted — and then
+// measures how often the returned teams happen to be compatible.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/signed_graph.h"
+#include "src/skills/skills.h"
+
+namespace tfsn {
+
+/// Result of a RarestFirst run.
+struct UnsignedTeamResult {
+  bool found = false;
+  std::vector<NodeId> members;  ///< sorted when found
+  uint32_t cost = 0;            ///< team diameter in the unsigned graph
+};
+
+/// Runs RarestFirst on `g` with edge signs ignored (any sign counts as a
+/// connection). Fails when some task skill has no holder reachable from a
+/// seed (possible on disconnected graphs, e.g. after deleting negative
+/// edges).
+UnsignedTeamResult RarestFirst(const SignedGraph& g,
+                               const SkillAssignment& skills,
+                               const Task& task);
+
+}  // namespace tfsn

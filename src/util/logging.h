@@ -1,0 +1,39 @@
+// Assertion and check macros in the style of glog/Arrow DCHECK.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tfsn::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "%s:%d: TFSN_CHECK failed: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace tfsn::internal
+
+/// Aborts with a diagnostic when `cond` is false. Enabled in all builds:
+/// the checks guard data-structure invariants whose violation would silently
+/// corrupt experiment results.
+#define TFSN_CHECK(cond)                                        \
+  do {                                                          \
+    if (!(cond)) ::tfsn::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (false)
+
+#define TFSN_CHECK_EQ(a, b) TFSN_CHECK((a) == (b))
+#define TFSN_CHECK_NE(a, b) TFSN_CHECK((a) != (b))
+#define TFSN_CHECK_LT(a, b) TFSN_CHECK((a) < (b))
+#define TFSN_CHECK_LE(a, b) TFSN_CHECK((a) <= (b))
+#define TFSN_CHECK_GT(a, b) TFSN_CHECK((a) > (b))
+#define TFSN_CHECK_GE(a, b) TFSN_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define TFSN_DCHECK(cond) TFSN_CHECK(cond)
+#else
+#define TFSN_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#endif

@@ -1,0 +1,25 @@
+// Minimal data-parallel helper: static range partitioning over std::thread.
+//
+// The compatibility oracles are deliberately single-threaded (they own row
+// caches); parallel experiment code instead gives each worker its own
+// oracle and splits the *source nodes* across workers — embarrassingly
+// parallel, no sharing, no locks.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace tfsn {
+
+/// Number of workers to use for `hint` (0 = hardware concurrency, capped).
+uint32_t ResolveThreads(uint32_t hint);
+
+/// Invokes fn(worker_id, begin, end) on `threads` workers, statically
+/// partitioning [0, n). Blocks until all workers finish. fn must not throw.
+void ParallelFor(uint64_t n, uint32_t threads,
+                 const std::function<void(uint32_t, uint64_t, uint64_t)>& fn);
+
+}  // namespace tfsn

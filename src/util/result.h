@@ -1,0 +1,75 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace tfsn {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the value. Undefined when !ok().
+  const T& ValueOrDie() const& {
+    DieIfNotOk();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    DieIfNotOk();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    DieIfNotOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` if this result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void DieIfNotOk() const {
+    if (!ok()) status_.CheckOK();
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the unwrapped value of a Result expression to `lhs`, or returns
+/// its error status to the caller.
+#define TFSN_ASSIGN_OR_RETURN(lhs, rexpr)       \
+  auto TFSN_CONCAT_(_res_, __LINE__) = (rexpr); \
+  if (!TFSN_CONCAT_(_res_, __LINE__).ok())      \
+    return TFSN_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(TFSN_CONCAT_(_res_, __LINE__)).ValueOrDie()
+
+#define TFSN_CONCAT_IMPL_(a, b) a##b
+#define TFSN_CONCAT_(a, b) TFSN_CONCAT_IMPL_(a, b)
+
+}  // namespace tfsn

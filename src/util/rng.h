@@ -1,0 +1,63 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Experiments must be reproducible across runs and platforms, so the library
+// uses its own xoshiro256** generator seeded through SplitMix64 rather than
+// std::mt19937 + distribution objects (whose output is not portable).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tfsn {
+
+/// SplitMix64 step; used to expand a single seed into generator state.
+uint64_t SplitMix64(uint64_t* state);
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG with portable output.
+class Rng {
+ public:
+  /// Seeds the generator. Equal seeds yield identical streams on all
+  /// platforms.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// nearly-divisionless method with rejection, so the result is unbiased.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw: true with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Fisher–Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples `k` distinct values from [0, n) in selection order.
+  /// Requires k <= n. O(k) expected time for k << n, O(n) otherwise.
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+  /// Splits off an independently-seeded child generator; used to give each
+  /// experiment repetition its own deterministic stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace tfsn

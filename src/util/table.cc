@@ -1,0 +1,82 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tfsn {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::Pct(double fraction, int precision) {
+  return Fmt(fraction * 100.0, precision);
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += c == 0 ? "| " : " ";
+      line += cell;
+      line.append(width[c] - cell.size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(header_);
+  std::string rule;
+  for (size_t c = 0; c < width.size(); ++c) {
+    rule += c == 0 ? "|-" : "-";
+    rule.append(width[c], '-');
+    rule += "-|";
+  }
+  out += rule + '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TextTable::ToCsv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string esc = "\"";
+    for (char ch : cell) {
+      if (ch == '"') esc += '"';
+      esc += ch;
+    }
+    esc += '"';
+    return esc;
+  };
+  auto render = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) line += ',';
+      line += escape(row[c]);
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render(header_);
+  for (const auto& row : rows_) out += render(row);
+  return out;
+}
+
+}  // namespace tfsn

@@ -1,0 +1,38 @@
+// Plain-text aligned table printer used by the benchmark harness to emit
+// paper-style tables (Table 1/2/3) and figure series.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tfsn {
+
+/// Accumulates rows of string cells and renders them as an aligned,
+/// pipe-separated text table with a header rule.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; missing trailing cells render as empty.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience cell formatters.
+  static std::string Fmt(double v, int precision = 2);
+  static std::string Pct(double fraction, int precision = 2);
+
+  /// Renders the table, aligned, ready to print.
+  std::string ToString() const;
+
+  /// Renders as CSV (no alignment, comma-separated, quoted when needed).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tfsn

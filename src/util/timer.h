@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for experiment harnesses.
+
+#pragma once
+
+#include <chrono>
+
+namespace tfsn {
+
+/// Monotonic stopwatch; starts running at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tfsn

@@ -1,0 +1,32 @@
+#include "src/util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tfsn {
+
+ZipfSampler::ZipfSampler(uint32_t n, double s) : s_(s) {
+  if (n == 0) n = 1;
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint32_t r = 0; r < n; ++r) {
+    total += std::pow(static_cast<double>(r) + 1.0, -s);
+    cdf_[r] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding drift
+}
+
+uint32_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(uint32_t r) const {
+  if (r >= cdf_.size()) return 0.0;
+  return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+}
+
+}  // namespace tfsn

@@ -1,0 +1,37 @@
+// Zipf-distributed sampling over ranks 1..n.
+//
+// The paper assigns skills to users "with frequencies following a Zipf
+// distribution as in real data" (Section 5, Wikipedia dataset). This sampler
+// reproduces that: rank r is drawn with probability proportional to r^-s.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace tfsn {
+
+/// Samples ranks in [0, n) with P(rank = r) ∝ (r+1)^-s via inverse-CDF
+/// binary search over the precomputed cumulative mass table.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `s` is the Zipf exponent (1.0 is the classic law).
+  ZipfSampler(uint32_t n, double s);
+
+  /// Draws one rank in [0, n).
+  uint32_t Sample(Rng* rng) const;
+
+  /// Probability mass of rank `r`.
+  double Pmf(uint32_t r) const;
+
+  uint32_t n() const { return static_cast<uint32_t>(cdf_.size()); }
+  double exponent() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r), cdf_.back() == 1
+};
+
+}  // namespace tfsn

@@ -1,0 +1,149 @@
+#include "src/graph/balance.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_figures.h"
+#include "src/gen/generators.h"
+#include "src/graph/graph_builder.h"
+#include "src/graph/transform.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+namespace {
+
+SignedGraph MakeTriangle(Sign a, Sign b, Sign c) {
+  SignedGraphBuilder builder(3);
+  builder.AddEdge(0, 1, a).CheckOK();
+  builder.AddEdge(1, 2, b).CheckOK();
+  builder.AddEdge(0, 2, c).CheckOK();
+  return std::move(builder.Build()).ValueOrDie();
+}
+
+TEST(BalanceTest, AllPositiveTriangleIsBalanced) {
+  auto g = MakeTriangle(Sign::kPositive, Sign::kPositive, Sign::kPositive);
+  EXPECT_TRUE(CheckBalance(g).balanced);
+}
+
+TEST(BalanceTest, TwoNegativesTriangleIsBalanced) {
+  auto g = MakeTriangle(Sign::kNegative, Sign::kNegative, Sign::kPositive);
+  EXPECT_TRUE(CheckBalance(g).balanced);
+}
+
+TEST(BalanceTest, OneNegativeTriangleIsUnbalanced) {
+  auto g = MakeTriangle(Sign::kPositive, Sign::kPositive, Sign::kNegative);
+  EXPECT_FALSE(CheckBalance(g).balanced);
+}
+
+TEST(BalanceTest, AllNegativeTriangleIsUnbalanced) {
+  auto g = MakeTriangle(Sign::kNegative, Sign::kNegative, Sign::kNegative);
+  EXPECT_FALSE(CheckBalance(g).balanced);
+}
+
+TEST(BalanceTest, BalancedWitnessHasZeroFrustration) {
+  Rng rng(5);
+  SignedGraph g = RandomBalancedGraph(60, 150, &rng);
+  BalanceCheck check = CheckBalance(g);
+  ASSERT_TRUE(check.balanced);
+  EXPECT_EQ(Frustration(g, check.side), 0u);
+}
+
+TEST(BalanceTest, PlantedPartitionWithNoiseUsuallyUnbalanced) {
+  Rng rng(6);
+  SignedGraph g = PlantedPartitionSigned(80, 300, /*noise=*/0.2, &rng);
+  // With 300 edges and 20% flips, odd cycles are essentially certain.
+  EXPECT_FALSE(CheckBalance(g).balanced);
+}
+
+TEST(BalanceTest, TreeIsAlwaysBalanced) {
+  // Any tree is balanced regardless of signs (no cycles at all).
+  Rng rng(7);
+  SignedGraph g = RandomConnectedGnm(50, 49, 0.5, &rng);
+  EXPECT_TRUE(CheckBalance(g).balanced);
+}
+
+TEST(BalanceTest, PathSidesFlipOnNegativeEdges) {
+  SignedGraph g = testgraphs::Figure1a();
+  using namespace testgraphs;
+  std::vector<NodeId> path{kU, kX2, kX3, kX4, kV};
+  auto sides = PathSides(g, path);
+  // Signs along path: +, -, -, + => sides +1, +1, -1, +1, +1.
+  EXPECT_EQ(sides, (std::vector<Side>{+1, +1, -1, +1, +1}));
+}
+
+TEST(BalanceTest, Figure1aBalancedPath) {
+  SignedGraph g = testgraphs::Figure1a();
+  using namespace testgraphs;
+  std::vector<NodeId> good{kU, kX2, kX3, kX4, kV};
+  EXPECT_TRUE(IsPathBalanced(g, good));
+  // (u,x2,x1,v) is positive but unbalanced: chord (u,x1) is negative while
+  // both endpoints are on the same side.
+  std::vector<NodeId> bad{kU, kX2, kX1, kV};
+  EXPECT_FALSE(IsPathBalanced(g, bad));
+}
+
+TEST(BalanceTest, Figure1bUnbalancedRoute) {
+  SignedGraph g = testgraphs::Figure1b();
+  using namespace testgraphs;
+  std::vector<NodeId> bad{kBU, kBX3, kBX4, kBX5, kBV};
+  EXPECT_FALSE(IsPathBalanced(g, bad));  // chord (x3,x5) is negative
+  std::vector<NodeId> good{kBU, kBX1, kBX2, kBX4, kBX5, kBV};
+  EXPECT_TRUE(IsPathBalanced(g, good));
+  std::vector<NodeId> prefix{kBU, kBX3, kBX4};
+  EXPECT_TRUE(IsPathBalanced(g, prefix));
+}
+
+TEST(BalanceTest, SingleEdgePathAlwaysBalanced) {
+  SignedGraph g = MakeTriangle(Sign::kNegative, Sign::kNegative,
+                               Sign::kNegative);
+  std::vector<NodeId> path{0, 1};
+  EXPECT_TRUE(IsPathBalanced(g, path));
+}
+
+TEST(TriangleCensusTest, CountsByPattern) {
+  auto g = MakeTriangle(Sign::kPositive, Sign::kPositive, Sign::kNegative);
+  TriangleCensus census = CountTriangles(g);
+  EXPECT_EQ(census.total(), 1u);
+  EXPECT_EQ(census.ppn, 1u);
+  EXPECT_EQ(census.balanced(), 0u);
+  EXPECT_DOUBLE_EQ(census.balance_ratio(), 0.0);
+}
+
+TEST(TriangleCensusTest, K4AllPositive) {
+  SignedGraphBuilder b(4);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) {
+      b.AddEdge(i, j, Sign::kPositive).CheckOK();
+    }
+  }
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  TriangleCensus census = CountTriangles(g);
+  EXPECT_EQ(census.total(), 4u);
+  EXPECT_EQ(census.ppp, 4u);
+  EXPECT_DOUBLE_EQ(census.balance_ratio(), 1.0);
+}
+
+TEST(TriangleCensusTest, NoTriangles) {
+  Rng rng(8);
+  SignedGraph g = RandomConnectedGnm(20, 19, 0.3, &rng);  // a tree
+  EXPECT_EQ(CountTriangles(g).total(), 0u);
+  EXPECT_DOUBLE_EQ(CountTriangles(g).balance_ratio(), 1.0);
+}
+
+TEST(TriangleCensusTest, BalancedGraphHasNoUnbalancedTriangles) {
+  Rng rng(9);
+  SignedGraph g = RandomBalancedGraph(40, 200, &rng);
+  EXPECT_EQ(CountTriangles(g).unbalanced(), 0u);
+}
+
+TEST(FrustrationTest, FlippingOneNodeAddsItsCut) {
+  Rng rng(10);
+  SignedGraph g = RandomBalancedGraph(30, 80, &rng);
+  BalanceCheck check = CheckBalance(g);
+  ASSERT_TRUE(check.balanced);
+  std::vector<Side> side = check.side;
+  side[0] = static_cast<Side>(-side[0]);
+  EXPECT_EQ(Frustration(g, side), g.Degree(0));
+}
+
+}  // namespace
+}  // namespace tfsn

@@ -1,0 +1,207 @@
+#include "src/graph/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/gen/generators.h"
+#include "src/graph/components.h"
+#include "src/graph/diameter.h"
+#include "src/graph/graph_builder.h"
+#include "src/graph/transform.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+namespace {
+
+// 0-1-2-3 path plus pendant 4 off node 1.
+SignedGraph PathGraph() {
+  SignedGraphBuilder b(5);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 2, Sign::kNegative).CheckOK();
+  b.AddEdge(2, 3, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 4, Sign::kPositive).CheckOK();
+  return std::move(b.Build()).ValueOrDie();
+}
+
+TEST(BfsTest, DistancesFromEnd) {
+  SignedGraph g = PathGraph();
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist, (std::vector<uint32_t>{0, 1, 2, 3, 2}));
+}
+
+TEST(BfsTest, BoundedStopsAtDepth) {
+  SignedGraph g = PathGraph();
+  auto dist = BfsDistancesBounded(g, 0, 2);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(BfsTest, PairDistanceMatchesFull) {
+  Rng rng(3);
+  SignedGraph g = RandomConnectedGnm(40, 80, 0.3, &rng);
+  auto dist = BfsDistances(g, 7);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(BfsDistance(g, 7, v), dist[v]);
+  }
+}
+
+TEST(BfsTest, DisconnectedUnreachable) {
+  SignedGraphBuilder b(4);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(2, 3, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  EXPECT_EQ(BfsDistance(g, 0, 3), kUnreachable);
+  EXPECT_EQ(BfsDistances(g, 0)[2], kUnreachable);
+}
+
+TEST(BfsTest, ShortestPathEndpointsAndLength) {
+  SignedGraph g = PathGraph();
+  auto path = BfsShortestPath(g, 0, 3);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 3u);
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(g.HasEdge(path[i], path[i + 1]));
+  }
+}
+
+TEST(BfsTest, ShortestPathToSelf) {
+  SignedGraph g = PathGraph();
+  auto path = BfsShortestPath(g, 2, 2);
+  EXPECT_EQ(path, std::vector<NodeId>{2});
+}
+
+TEST(BfsTest, ShortestPathUnreachableIsEmpty) {
+  SignedGraphBuilder b(3);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  EXPECT_TRUE(BfsShortestPath(g, 0, 2).empty());
+}
+
+TEST(ComponentsTest, SingleComponent) {
+  SignedGraph g = PathGraph();
+  ComponentInfo info = ConnectedComponents(g);
+  EXPECT_EQ(info.num_components(), 1u);
+  EXPECT_EQ(info.size[0], 5u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(ComponentsTest, MultipleComponents) {
+  SignedGraphBuilder b(6);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(2, 3, Sign::kNegative).CheckOK();
+  b.AddEdge(3, 4, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  ComponentInfo info = ConnectedComponents(g);
+  EXPECT_EQ(info.num_components(), 3u);  // {0,1}, {2,3,4}, {5}
+  EXPECT_FALSE(IsConnected(g));
+  EXPECT_EQ(info.size[info.LargestComponent()], 3u);
+}
+
+TEST(ComponentsTest, LargestComponentSubgraphRemaps) {
+  SignedGraphBuilder b(6);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(2, 3, Sign::kNegative).CheckOK();
+  b.AddEdge(3, 4, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  SubgraphMapping sub = LargestComponentSubgraph(g);
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 2u);
+  EXPECT_EQ(sub.graph.num_negative_edges(), 1u);
+  // Mapping is a bijection between kept nodes.
+  for (NodeId new_id = 0; new_id < 3; ++new_id) {
+    EXPECT_EQ(sub.old_to_new[sub.new_to_old[new_id]], new_id);
+  }
+  EXPECT_EQ(sub.old_to_new[0], kInvalidNode);
+  EXPECT_EQ(sub.old_to_new[5], kInvalidNode);
+}
+
+TEST(DiameterTest, PathGraphExact) {
+  SignedGraph g = PathGraph();
+  EXPECT_EQ(ExactDiameter(g), 3u);
+}
+
+TEST(DiameterTest, EstimateNeverExceedsExactAndIsClose) {
+  Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    SignedGraph g = RandomConnectedGnm(60, 90, 0.2, &rng);
+    uint32_t exact = ExactDiameter(g);
+    Rng est_rng(100 + trial);
+    uint32_t estimate = EstimateDiameter(g, 8, &est_rng);
+    EXPECT_LE(estimate, exact);
+    EXPECT_GE(estimate + 2, exact);  // double sweep is near-exact here
+  }
+}
+
+TEST(DiameterTest, AverageDistanceOnPath) {
+  // 0-1-2 path: pairwise distances 1,1,2 -> average 4/3.
+  SignedGraphBuilder b(3);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 2, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  Rng rng(13);
+  double avg = EstimateAverageDistance(g, g.num_nodes(), &rng);
+  EXPECT_NEAR(avg, 4.0 / 3.0, 1e-9);
+}
+
+TEST(EccentricityTest, CenterVsLeaf) {
+  SignedGraph g = PathGraph();
+  EXPECT_EQ(Eccentricity(g, 1), 2u);
+  EXPECT_EQ(Eccentricity(g, 0), 3u);
+}
+
+TEST(GeneratorTest, GnmIsConnectedWithRequestedCounts) {
+  Rng rng(17);
+  SignedGraph g = RandomConnectedGnm(100, 250, 0.25, &rng);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 250u);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_NEAR(g.negative_fraction(), 0.25, 0.12);
+}
+
+TEST(GeneratorTest, PreferentialAttachmentSkewsDegrees) {
+  Rng rng(19);
+  SignedGraph g = RandomPreferentialAttachment(500, 2000, 0.2, &rng);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(g.num_edges(), 2000u);
+  uint32_t max_degree = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    max_degree = std::max(max_degree, g.Degree(u));
+  }
+  // Mean degree is 8; a PA graph grows hubs far above the mean.
+  EXPECT_GT(max_degree, 30u);
+}
+
+TEST(GeneratorTest, TreeEdgeCase) {
+  Rng rng(23);
+  SignedGraph g = RandomConnectedGnm(10, 9, 0.5, &rng);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(g.num_edges(), 9u);
+}
+
+TEST(GeneratorTest, SmallWorldConnectedAndSized) {
+  Rng rng(29);
+  SignedGraph g = SmallWorldSigned(100, 4, 0.1, 0.3, &rng);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_GE(g.num_edges(), 190u);  // ~n*k/2, a few rewires may collide
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  Rng a(31), b(31);
+  SignedGraph g1 = RandomConnectedGnm(50, 120, 0.3, &a);
+  SignedGraph g2 = RandomConnectedGnm(50, 120, 0.3, &b);
+  EXPECT_EQ(g1.Edges(), g2.Edges());
+}
+
+TEST(GeneratorTest, PlantedPartitionNoiseZeroBalanced) {
+  Rng rng(37);
+  SignedGraph g = PlantedPartitionSigned(50, 200, 0.0, &rng);
+  // Within-faction edges positive, cross negative: exactly balanced.
+  EXPECT_EQ(DeleteNegativeEdges(g).num_edges() +
+                g.num_negative_edges(),
+            g.num_edges());
+}
+
+}  // namespace
+}  // namespace tfsn

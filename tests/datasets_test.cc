@@ -1,0 +1,87 @@
+#include "src/data/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/components.h"
+#include "src/graph/graph_builder.h"
+#include "src/graph/graph_io.h"
+
+namespace tfsn {
+namespace {
+
+TEST(DatasetTest, SlashdotMatchesTable1) {
+  Dataset ds = MakeSlashdot();
+  EXPECT_EQ(ds.name, "Slashdot");
+  EXPECT_EQ(ds.graph.num_nodes(), 214u);
+  EXPECT_EQ(ds.graph.num_edges(), 304u);
+  EXPECT_TRUE(IsConnected(ds.graph));
+  EXPECT_NEAR(ds.graph.negative_fraction(), 0.292, 0.08);
+  EXPECT_EQ(ds.skills.num_skills(), 1024u);
+  EXPECT_EQ(ds.skills.num_users(), 214u);
+}
+
+TEST(DatasetTest, ScaledEpinionsShrinksProportionally) {
+  DatasetOptions options;
+  options.scale = 0.02;
+  Dataset ds = MakeEpinions(options);
+  EXPECT_EQ(ds.graph.num_nodes(), 577u);  // 28854 * 0.02
+  EXPECT_NEAR(static_cast<double>(ds.graph.num_edges()), 208778 * 0.02, 5.0);
+  EXPECT_TRUE(IsConnected(ds.graph));
+  EXPECT_EQ(ds.skills.num_skills(), 523u);
+}
+
+TEST(DatasetTest, ScaledWikipediaConnected) {
+  DatasetOptions options;
+  options.scale = 0.05;
+  Dataset ds = MakeWikipedia(options);
+  EXPECT_TRUE(IsConnected(ds.graph));
+  EXPECT_NEAR(ds.graph.negative_fraction(), 0.215, 0.05);
+  EXPECT_EQ(ds.skills.num_skills(), 500u);
+}
+
+TEST(DatasetTest, ByNameLookup) {
+  DatasetOptions options;
+  options.scale = 0.02;
+  auto ds = MakeDatasetByName("EPINIONS", options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->name, "Epinions");
+  EXPECT_FALSE(MakeDatasetByName("bogus").ok());
+  EXPECT_EQ(DatasetNames().size(), 3u);
+}
+
+TEST(DatasetTest, DeterministicAcrossCalls) {
+  Dataset a = MakeSlashdot();
+  Dataset b = MakeSlashdot();
+  EXPECT_EQ(a.graph.Edges(), b.graph.Edges());
+  EXPECT_EQ(a.skills.num_assignments(), b.skills.num_assignments());
+}
+
+TEST(DatasetTest, SeedChangesGraph) {
+  DatasetOptions options;
+  options.seed = 999;
+  Dataset a = MakeSlashdot();
+  Dataset b = MakeSlashdot(options);
+  EXPECT_NE(a.graph.Edges(), b.graph.Edges());
+}
+
+TEST(DatasetTest, LoadFromEdgeListRestrictsToLcc) {
+  std::string path = testing::TempDir() + "/tfsn_dataset.edges";
+  // Two components: {0,1,2} and {3,4}.
+  SignedGraphBuilder b(5);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 2, Sign::kNegative).CheckOK();
+  b.AddEdge(3, 4, Sign::kPositive).CheckOK();
+  ASSERT_TRUE(WriteEdgeList(std::move(b.Build()).ValueOrDie(), path).ok());
+  auto ds = LoadDatasetFromEdgeList(path, /*num_skills=*/10);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->graph.num_nodes(), 3u);
+  EXPECT_EQ(ds->skills.num_users(), 3u);
+  EXPECT_EQ(ds->skills.num_skills(), 10u);
+}
+
+TEST(DatasetTest, LoadFromMissingFileFails) {
+  EXPECT_FALSE(LoadDatasetFromEdgeList("/no/such/file", 10).ok());
+}
+
+}  // namespace
+}  // namespace tfsn

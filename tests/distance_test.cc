@@ -1,0 +1,96 @@
+// Property suite for the relation-distance semantics of Section 4:
+//   * every oracle distance upper- or exactly-bounds the plain BFS hop
+//     distance according to its definition;
+//   * NNE/SP distances equal the BFS distance;
+//   * SBP/SBPH distances are the balanced-positive-path lengths and hence
+//     >= BFS distance; SBPH >= SBP (heuristic finds no shorter path than
+//     the exact minimum);
+//   * distances are symmetric, zero on the diagonal, and finite exactly
+//     where the definition promises.
+
+#include <gtest/gtest.h>
+
+#include "src/compat/compatibility.h"
+#include "src/gen/generators.h"
+#include "src/graph/bfs.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+namespace {
+
+class DistanceSemanticsTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(DistanceSemanticsTest, AllProperties) {
+  Rng rng(GetParam());
+  SignedGraph g = RandomConnectedGnm(24, 56, 0.3, &rng);
+  auto spo = MakeOracle(g, CompatKind::kSPO);
+  auto nne = MakeOracle(g, CompatKind::kNNE);
+  auto sbp = MakeOracle(g, CompatKind::kSBP);
+  auto sbph = MakeOracle(g, CompatKind::kSBPH);
+
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto bfs = BfsDistances(g, u);
+    EXPECT_EQ(spo->Distance(u, u), 0u);
+    EXPECT_EQ(sbp->Distance(u, u), 0u);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (u == v) continue;
+      // SP-family and NNE distances are plain hop distances.
+      EXPECT_EQ(spo->Distance(u, v), bfs[v]);
+      EXPECT_EQ(nne->Distance(u, v), bfs[v]);
+      // Balanced-path distances are at least the hop distance, finite
+      // exactly when compatible, and the heuristic never beats the exact
+      // minimum.
+      uint32_t exact = sbp->Distance(u, v);
+      uint32_t heuristic = sbph->Distance(u, v);
+      if (sbp->Compatible(u, v)) {
+        ASSERT_NE(exact, kUnreachable);
+        EXPECT_GE(exact, bfs[v]);
+      } else {
+        EXPECT_EQ(exact, kUnreachable);
+      }
+      if (sbph->Compatible(u, v)) {
+        ASSERT_NE(heuristic, kUnreachable);
+        EXPECT_GE(heuristic, exact);
+      }
+      // Symmetry of the exposed distances.
+      EXPECT_EQ(sbp->Distance(u, v), sbp->Distance(v, u));
+      EXPECT_EQ(sbph->Distance(u, v), sbph->Distance(v, u));
+      EXPECT_EQ(nne->Distance(u, v), nne->Distance(v, u));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistanceSemanticsTest,
+                         testing::Values(101ULL, 202ULL, 303ULL));
+
+TEST(DistanceSemanticsTest2, DpeCompatiblePairsAreAdjacent) {
+  Rng rng(404);
+  SignedGraph g = RandomConnectedGnm(30, 70, 0.25, &rng);
+  auto dpe = MakeOracle(g, CompatKind::kDPE);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (u == v) continue;
+      if (dpe->Compatible(u, v)) {
+        EXPECT_EQ(dpe->Distance(u, v), 1u);
+        EXPECT_EQ(g.EdgeSign(u, v), Sign::kPositive);
+      }
+    }
+  }
+}
+
+TEST(DistanceSemanticsTest2, PositiveEdgeGivesDistanceOneEverywhere) {
+  // For every relation, a positive edge is a compatible pair at relation
+  // distance exactly 1 (the edge itself is a positive balanced path).
+  Rng rng(505);
+  SignedGraph g = RandomConnectedGnm(26, 60, 0.35, &rng);
+  for (CompatKind kind : AllCompatKinds()) {
+    auto oracle = MakeOracle(g, kind);
+    for (const SignedEdge& e : g.Edges()) {
+      if (e.sign != Sign::kPositive) continue;
+      EXPECT_EQ(oracle->Distance(e.u, e.v), 1u) << CompatKindName(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tfsn

@@ -1,0 +1,153 @@
+// Integration tests over the experiment runners: the pipelines that
+// regenerate the paper's tables and figures must produce well-formed rows
+// with the qualitative properties the paper reports.
+
+#include "src/exp/experiments.h"
+
+#include <gtest/gtest.h>
+
+namespace tfsn {
+namespace {
+
+Dataset SmallEpinions() {
+  DatasetOptions options;
+  options.scale = 0.02;  // ~577 users
+  options.seed = 99;
+  return MakeEpinions(options);
+}
+
+TEST(Table1Test, RowMatchesDataset) {
+  Dataset ds = MakeSlashdot();
+  Table1Row row = ComputeTable1Row(ds, /*exact_diameter_limit=*/1000, 1);
+  EXPECT_EQ(row.dataset, "Slashdot");
+  EXPECT_EQ(row.users, 214u);
+  EXPECT_EQ(row.edges, 304u);
+  EXPECT_TRUE(row.diameter_exact);
+  EXPECT_GT(row.diameter, 3u);
+  EXPECT_EQ(row.skills, 1024u);
+  EXPECT_NEAR(row.neg_fraction,
+              static_cast<double>(row.neg_edges) / row.edges, 1e-12);
+}
+
+TEST(Table1Test, EstimatedDiameterForLargeGraphs) {
+  Dataset ds = SmallEpinions();
+  Table1Row row = ComputeTable1Row(ds, /*exact_diameter_limit=*/10, 1);
+  EXPECT_FALSE(row.diameter_exact);
+  EXPECT_GT(row.diameter, 0u);
+}
+
+TEST(Table2Test, SlashdotIncludesSbpAndIsMonotone) {
+  Dataset ds = MakeSlashdot();
+  Table2Options options;
+  auto cells = RunTable2(ds, options);
+  // Small graph: all sources, SBP included -> 6 relations.
+  ASSERT_EQ(cells.size(), 6u);
+  // Relaxation order of the returned cells: SPA SPM SPO SBPH SBP NNE.
+  EXPECT_EQ(cells[0].kind, CompatKind::kSPA);
+  EXPECT_EQ(cells[4].kind, CompatKind::kSBP);
+  EXPECT_EQ(cells[5].kind, CompatKind::kNNE);
+  for (size_t i = 0; i + 1 < cells.size(); ++i) {
+    EXPECT_LE(cells[i].comp_users_pct, cells[i + 1].comp_users_pct + 1e-9)
+        << CompatKindName(cells[i].kind) << " -> "
+        << CompatKindName(cells[i + 1].kind);
+  }
+  // Paper shape: SBP within a few percent of NNE; SBPH within a few
+  // percent of SBP.
+  EXPECT_NEAR(cells[4].comp_users_pct, cells[5].comp_users_pct, 5.0);
+  EXPECT_NEAR(cells[3].comp_users_pct, cells[4].comp_users_pct, 5.0);
+  // Distances: positive, and NNE below SBP (negative shortcuts allowed).
+  for (const auto& c : cells) EXPECT_GT(c.avg_distance, 0.0);
+  EXPECT_LE(cells[5].avg_distance, cells[4].avg_distance);
+}
+
+TEST(Table2Test, LargeGraphSkipsSbpAndSamples) {
+  Dataset ds = SmallEpinions();
+  Table2Options options;
+  options.sample_sources = 50;
+  options.small_graph_limit = 100;  // force the "large" path
+  auto cells = RunTable2(ds, options);
+  ASSERT_EQ(cells.size(), 5u);  // no SBP
+  for (const auto& c : cells) {
+    EXPECT_NE(c.kind, CompatKind::kSBP);
+    EXPECT_EQ(c.sources_used, 50u);
+  }
+}
+
+TEST(Fig2abTest, MaxBoundDominatesAndDiametersSane) {
+  Dataset ds = SmallEpinions();
+  TeamExperimentOptions options;
+  options.num_tasks = 12;
+  options.max_seeds = 5;
+  options.kinds = {CompatKind::kSPM, CompatKind::kNNE};
+  auto rows = RunFig2ab(ds, options);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) {
+    ASSERT_EQ(row.outcomes.size(), 3u);
+    EXPECT_EQ(row.outcomes[0].algorithm, "LCMD");
+    EXPECT_EQ(row.outcomes[1].algorithm, "LCMC");
+    EXPECT_EQ(row.outcomes[2].algorithm, "RANDOM");
+    for (const auto& outcome : row.outcomes) {
+      EXPECT_GE(outcome.solved_pct, 0.0);
+      EXPECT_LE(outcome.solved_pct, 100.0);
+      // MAX is a necessary condition, so it upper-bounds every algorithm.
+      EXPECT_LE(outcome.solved_pct, row.max_bound_pct + 1e-9)
+          << CompatKindName(row.kind) << "/" << outcome.algorithm;
+      if (outcome.solved_pct > 0) {
+        EXPECT_GE(outcome.avg_diameter, 0.0);
+      }
+    }
+  }
+}
+
+TEST(Fig2cdTest, SuccessFallsWithTaskSizeForStrictRelations) {
+  Dataset ds = SmallEpinions();
+  TeamExperimentOptions options;
+  options.num_tasks = 15;
+  options.max_seeds = 5;
+  options.kinds = {CompatKind::kSPA, CompatKind::kNNE};
+  auto points = RunFig2cd(ds, {2, 10}, options);
+  ASSERT_EQ(points.size(), 4u);
+  auto find = [&](CompatKind kind, uint32_t k) -> const Fig2cdPoint& {
+    for (const auto& p : points) {
+      if (p.kind == kind && p.task_size == k) return p;
+    }
+    ADD_FAILURE() << "missing point";
+    return points[0];
+  };
+  // Strict relation: success at k=10 no better than at k=2.
+  EXPECT_LE(find(CompatKind::kSPA, 10).solved_pct,
+            find(CompatKind::kSPA, 2).solved_pct + 1e-9);
+  // NNE stays near-perfect on a connected graph.
+  EXPECT_GE(find(CompatKind::kNNE, 10).solved_pct, 90.0);
+  // Diameter grows (weakly) with task size for NNE.
+  EXPECT_GE(find(CompatKind::kNNE, 10).avg_diameter,
+            find(CompatKind::kNNE, 2).avg_diameter - 1e-9);
+}
+
+TEST(Table3Test, StructureAndStrictZero) {
+  Dataset ds = SmallEpinions();
+  Table3Options options;
+  options.num_tasks = 20;
+  auto rows = RunTable3(ds, options);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].network, "Ignore sign");
+  EXPECT_EQ(rows[1].network, "Delete negative");
+  for (const auto& row : rows) {
+    EXPECT_GT(row.teams_returned, 0u);
+    ASSERT_EQ(row.compatible_pct.size(), options.kinds.size());
+    for (const auto& [kind, pct] : row.compatible_pct) {
+      EXPECT_GE(pct, 0.0);
+      EXPECT_LE(pct, 100.0);
+    }
+    // Monotone along the relaxation chain (SPA <= SPM <= SPO <= SBPH <=
+    // NNE): a team compatible under a strict relation stays compatible
+    // under a relaxed one... except SBPH, whose heuristic is not a
+    // superset of SPO in theory — but SPA <= SPM <= SPO must hold.
+    EXPECT_LE(row.compatible_pct[0].second, row.compatible_pct[1].second);
+    EXPECT_LE(row.compatible_pct[1].second, row.compatible_pct[2].second);
+    EXPECT_LE(row.compatible_pct[3].second, row.compatible_pct[4].second);
+  }
+}
+
+}  // namespace
+}  // namespace tfsn

@@ -1,0 +1,288 @@
+// Tests for the extension modules: sign prediction and balance clustering
+// (the paper's future-work directions), cost-kind variants and top-k teams.
+
+#include <gtest/gtest.h>
+
+#include "src/compat/skill_index.h"
+#include "src/ext/balance_clustering.h"
+#include "src/ext/sign_prediction.h"
+#include "src/gen/generators.h"
+#include "src/graph/graph_builder.h"
+#include "src/skills/skill_generator.h"
+#include "src/team/cost.h"
+#include "src/team/greedy.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sign prediction
+// ---------------------------------------------------------------------------
+
+TEST(SignPredictionTest, RemoveEdgeDropsExactlyOne) {
+  Rng rng(1);
+  SignedGraph g = RandomConnectedGnm(20, 50, 0.3, &rng);
+  SignedGraph h = RemoveEdge(g, 0, g.Neighbors(0)[0].to);
+  EXPECT_EQ(h.num_edges(), g.num_edges() - 1);
+  EXPECT_FALSE(h.HasEdge(0, g.Neighbors(0)[0].to));
+  // Removing a non-edge is a no-op.
+  SignedGraph same = RemoveEdge(h, 0, g.Neighbors(0)[0].to);
+  EXPECT_EQ(same.num_edges(), h.num_edges());
+}
+
+TEST(SignPredictionTest, TriadVoteOnBalancedTriangle) {
+  // 0-1 +, 1-2 +: common neighbour 1 votes (+)(+) = positive for (0,2).
+  SignedGraphBuilder b(3);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 2, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  auto p = PredictSign(g, 0, 2, SignPredictor::kTriadBalance);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, Sign::kPositive);
+}
+
+TEST(SignPredictionTest, TriadVoteEnemyOfFriend) {
+  // 0-1 +, 1-2 -: predict (0,2) negative ("enemy of my friend").
+  SignedGraphBuilder b(3);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 2, Sign::kNegative).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  auto p = PredictSign(g, 0, 2, SignPredictor::kTriadBalance);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, Sign::kNegative);
+}
+
+TEST(SignPredictionTest, TriadAbstainsWithoutCommonNeighbours) {
+  SignedGraphBuilder b(4);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(2, 3, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  EXPECT_FALSE(PredictSign(g, 0, 3, SignPredictor::kTriadBalance).has_value());
+}
+
+TEST(SignPredictionTest, MajoritySpOnPath) {
+  // 0 -(+)- 1 -(+)- 2: the only path is positive.
+  SignedGraphBuilder b(3);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 2, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  auto p = PredictSign(g, 0, 2, SignPredictor::kMajorityShortestPath);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, Sign::kPositive);
+}
+
+TEST(SignPredictionTest, MajoritySpAbstainsOnTies) {
+  // Two disjoint 2-hop routes with opposite signs: tie.
+  SignedGraphBuilder b(4);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 3, Sign::kPositive).CheckOK();
+  b.AddEdge(0, 2, Sign::kNegative).CheckOK();
+  b.AddEdge(2, 3, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  EXPECT_FALSE(
+      PredictSign(g, 0, 3, SignPredictor::kMajorityShortestPath).has_value());
+}
+
+TEST(SignPredictionTest, PredictorsBeatChanceOnBalancedGraph) {
+  // On a noiseless two-faction graph every structural predictor should be
+  // perfect: hidden-edge signs are fully determined by the factions.
+  Rng rng(3);
+  SignedGraph g = RandomBalancedGraph(60, 260, &rng);
+  for (SignPredictor p :
+       {SignPredictor::kMajorityShortestPath, SignPredictor::kTriadBalance,
+        SignPredictor::kSbph}) {
+    Rng eval_rng(17);
+    SignPredictionReport report = EvaluateSignPredictor(g, p, 60, &eval_rng);
+    EXPECT_GT(report.evaluated, 20u) << SignPredictorName(p);
+    EXPECT_GE(report.accuracy(), 0.95) << SignPredictorName(p);
+  }
+}
+
+TEST(SignPredictionTest, ReportCountsAreConsistent) {
+  Rng rng(5);
+  SignedGraph g = RandomConnectedGnm(40, 100, 0.3, &rng);
+  Rng eval_rng(7);
+  SignPredictionReport report = EvaluateSignPredictor(
+      g, SignPredictor::kTriadBalance, 50, &eval_rng);
+  EXPECT_LE(report.correct, report.evaluated);
+  EXPECT_EQ(report.evaluated + report.abstained, 50u);
+}
+
+// ---------------------------------------------------------------------------
+// Balance clustering
+// ---------------------------------------------------------------------------
+
+TEST(BalanceClusteringTest, ExactOnBalancedGraph) {
+  Rng rng(9);
+  SignedGraph g = RandomBalancedGraph(50, 180, &rng);
+  FactionClustering c = ClusterFactions(g);
+  EXPECT_TRUE(c.exact);
+  EXPECT_EQ(c.frustration, 0u);
+  EXPECT_EQ(Frustration(g, c.side), 0u);
+  EXPECT_DOUBLE_EQ(PolarizationScore(g, c), 1.0);
+}
+
+TEST(BalanceClusteringTest, RecoversPlantedFactionsUnderNoise) {
+  Rng rng(11);
+  SignedGraph g = PlantedPartitionSigned(100, 600, /*noise=*/0.05, &rng);
+  ClusteringOptions options;
+  options.restarts = 12;
+  FactionClustering c = ClusterFactions(g, options);
+  EXPECT_FALSE(c.exact);
+  // ~5% flipped edges: local search should land near the planted optimum.
+  EXPECT_LT(static_cast<double>(c.frustration) / g.num_edges(), 0.10);
+  EXPECT_GT(PolarizationScore(g, c), 0.90);
+  // The planted split is half/half; recovered split must be near-balanced.
+  EXPECT_LT(FactionImbalance(c), 0.65);
+}
+
+TEST(BalanceClusteringTest, FrustrationMatchesHelper) {
+  Rng rng(13);
+  SignedGraph g = RandomConnectedGnm(60, 200, 0.4, &rng);
+  FactionClustering c = ClusterFactions(g);
+  EXPECT_EQ(c.frustration, Frustration(g, c.side));
+}
+
+TEST(BalanceClusteringTest, MoreRestartsNeverWorse) {
+  Rng rng(15);
+  SignedGraph g = RandomConnectedGnm(80, 300, 0.5, &rng);
+  ClusteringOptions one;
+  one.restarts = 1;
+  one.seed = 3;
+  ClusteringOptions many;
+  many.restarts = 16;
+  many.seed = 3;
+  // Same seed: the first restart of `many` replays `one`.
+  EXPECT_LE(ClusterFactions(g, many).frustration,
+            ClusterFactions(g, one).frustration);
+}
+
+TEST(BalanceClusteringTest, EmptyAndTinyGraphs) {
+  SignedGraphBuilder b(1);
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  FactionClustering c = ClusterFactions(g);
+  EXPECT_TRUE(c.exact);
+  EXPECT_EQ(c.frustration, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cost kinds & top-k teams
+// ---------------------------------------------------------------------------
+
+SignedGraph CostPlayground() {
+  // Path 0-1-2-3-4 all positive.
+  SignedGraphBuilder b(5);
+  for (NodeId i = 0; i + 1 < 5; ++i) {
+    b.AddEdge(i, i + 1, Sign::kPositive).CheckOK();
+  }
+  return std::move(b.Build()).ValueOrDie();
+}
+
+TEST(CostKindTest, HandComputedValues) {
+  SignedGraph g = CostPlayground();
+  auto oracle = MakeOracle(g, CompatKind::kNNE);
+  std::vector<NodeId> team{0, 2, 4};
+  // Pairwise distances: (0,2)=2, (0,4)=4, (2,4)=2.
+  EXPECT_EQ(TeamCost(oracle.get(), team, CostKind::kDiameter), 4u);
+  EXPECT_EQ(TeamCost(oracle.get(), team, CostKind::kSumOfPairs), 8u);
+  // Star costs: centre 0 -> 2+4=6, centre 2 -> 2+2=4, centre 4 -> 4+2=6.
+  EXPECT_EQ(TeamCost(oracle.get(), team, CostKind::kCenterStar), 4u);
+}
+
+TEST(CostKindTest, SingletonAndPairTeams) {
+  SignedGraph g = CostPlayground();
+  auto oracle = MakeOracle(g, CompatKind::kNNE);
+  std::vector<NodeId> solo{2};
+  for (CostKind kind :
+       {CostKind::kDiameter, CostKind::kSumOfPairs, CostKind::kCenterStar}) {
+    EXPECT_EQ(TeamCost(oracle.get(), solo, kind), 0u) << CostKindName(kind);
+  }
+  std::vector<NodeId> pair{1, 3};
+  EXPECT_EQ(TeamCost(oracle.get(), pair, CostKind::kDiameter), 2u);
+  EXPECT_EQ(TeamCost(oracle.get(), pair, CostKind::kSumOfPairs), 2u);
+  EXPECT_EQ(TeamCost(oracle.get(), pair, CostKind::kCenterStar), 2u);
+}
+
+TEST(CostKindTest, NamesStable) {
+  EXPECT_STREQ(CostKindName(CostKind::kDiameter), "Diameter");
+  EXPECT_STREQ(CostKindName(CostKind::kSumOfPairs), "SumOfPairs");
+  EXPECT_STREQ(CostKindName(CostKind::kCenterStar), "CenterStar");
+}
+
+struct TopKFixture {
+  SignedGraph g;
+  SkillAssignment sa;
+  std::unique_ptr<CompatibilityOracle> oracle;
+  std::unique_ptr<SkillCompatibilityIndex> index;
+
+  TopKFixture() {
+    Rng rng(21);
+    g = RandomConnectedGnm(50, 150, 0.15, &rng);
+    ZipfSkillParams sp;
+    sp.num_skills = 8;
+    sa = ZipfSkills(50, sp, &rng);
+    oracle = MakeOracle(g, CompatKind::kNNE);
+    Rng index_rng(23);
+    index = std::make_unique<SkillCompatibilityIndex>(oracle.get(), sa, 0,
+                                                      &index_rng);
+  }
+};
+
+TEST(TopKTest, SortedDistinctAndConsistentWithForm) {
+  TopKFixture fx;
+  GreedyParams params;
+  GreedyTeamFormer former(fx.oracle.get(), fx.sa, fx.index.get(), params);
+  Rng rng(25);
+  Task task = RandomTask(fx.sa, 3, &rng);
+  auto top = former.FormTopK(task, 5, &rng);
+  ASSERT_FALSE(top.empty());
+  for (size_t i = 0; i + 1 < top.size(); ++i) {
+    EXPECT_LE(top[i].objective, top[i + 1].objective);
+    EXPECT_NE(top[i].members, top[i + 1].members);
+  }
+  for (const TeamResult& t : top) {
+    EXPECT_TRUE(TeamCoversTask(fx.sa, task, t.members));
+    EXPECT_TRUE(TeamCompatible(fx.oracle.get(), t.members));
+  }
+  // The top-1 team matches Form's objective value.
+  Rng rng2(25);
+  TeamResult single = former.Form(task, &rng2);
+  EXPECT_EQ(single.objective, top[0].objective);
+}
+
+TEST(TopKTest, RespectsK) {
+  TopKFixture fx;
+  GreedyParams params;
+  GreedyTeamFormer former(fx.oracle.get(), fx.sa, fx.index.get(), params);
+  Rng rng(27);
+  Task task = RandomTask(fx.sa, 3, &rng);
+  EXPECT_LE(former.FormTopK(task, 2, &rng).size(), 2u);
+  EXPECT_TRUE(former.FormTopK(task, 0, &rng).empty());
+  EXPECT_TRUE(former.FormTopK(Task(), 3, &rng).empty());
+}
+
+TEST(TopKTest, AlternativeObjectiveChangesSelection) {
+  TopKFixture fx;
+  Rng rng(29);
+  Task task = RandomTask(fx.sa, 4, &rng);
+  GreedyParams diameter_params;
+  diameter_params.cost_kind = CostKind::kDiameter;
+  GreedyParams sum_params;
+  sum_params.cost_kind = CostKind::kSumOfPairs;
+  GreedyTeamFormer by_diameter(fx.oracle.get(), fx.sa, fx.index.get(),
+                               diameter_params);
+  GreedyTeamFormer by_sum(fx.oracle.get(), fx.sa, fx.index.get(), sum_params);
+  Rng r1(31), r2(31);
+  TeamResult a = by_diameter.Form(task, &r1);
+  TeamResult b = by_sum.Form(task, &r2);
+  if (a.found && b.found) {
+    // The sum-selected team's sum objective can never exceed the
+    // diameter-selected team's sum (both argmin over the same candidates).
+    EXPECT_LE(b.objective,
+              TeamCost(fx.oracle.get(), a.members, CostKind::kSumOfPairs));
+  }
+}
+
+}  // namespace
+}  // namespace tfsn

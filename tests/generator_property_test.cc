@@ -1,0 +1,119 @@
+// Cross-family property sweep: the compatibility axioms and the inclusion
+// chain must hold on every graph family the generators produce — uniform
+// G(n,m), preferential attachment, small-world, and planted partitions —
+// not just the uniform graphs the per-module suites use.
+
+#include <gtest/gtest.h>
+
+#include "src/compat/compatibility.h"
+#include "src/gen/generators.h"
+#include "src/graph/components.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+namespace {
+
+enum class Family { kGnm, kPreferential, kSmallWorld, kPlanted };
+
+const char* FamilyName(Family f) {
+  switch (f) {
+    case Family::kGnm: return "Gnm";
+    case Family::kPreferential: return "PrefAttach";
+    case Family::kSmallWorld: return "SmallWorld";
+    case Family::kPlanted: return "Planted";
+  }
+  return "?";
+}
+
+SignedGraph MakeFamily(Family f, uint64_t seed) {
+  Rng rng(seed);
+  switch (f) {
+    case Family::kGnm:
+      return RandomConnectedGnm(40, 100, 0.3, &rng);
+    case Family::kPreferential:
+      return RandomPreferentialAttachment(40, 100, 0.3, &rng);
+    case Family::kSmallWorld:
+      return SmallWorldSigned(40, 4, 0.2, 0.3, &rng);
+    case Family::kPlanted:
+      return PlantedPartitionSigned(40, 100, 0.15, &rng);
+  }
+  Rng fallback(seed);
+  return RandomConnectedGnm(40, 100, 0.3, &fallback);
+}
+
+struct SweepCase {
+  Family family;
+  uint64_t seed;
+};
+
+class GeneratorFamilyTest : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(GeneratorFamilyTest, GraphIsWellFormed) {
+  SignedGraph g = MakeFamily(GetParam().family, GetParam().seed);
+  EXPECT_EQ(g.num_nodes(), 40u);
+  EXPECT_GE(g.num_edges(), 39u);
+  EXPECT_TRUE(IsConnected(g));
+  // Adjacency symmetric with consistent signs.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Neighbor& nb : g.Neighbors(u)) {
+      auto back = g.EdgeSign(nb.to, u);
+      ASSERT_TRUE(back.has_value());
+      EXPECT_EQ(*back, nb.sign);
+    }
+  }
+}
+
+TEST_P(GeneratorFamilyTest, AxiomsAcrossAllRelations) {
+  SignedGraph g = MakeFamily(GetParam().family, GetParam().seed);
+  for (CompatKind kind : AllCompatKinds()) {
+    auto oracle = MakeOracle(g, kind);
+    for (const SignedEdge& e : g.Edges()) {
+      if (e.sign == Sign::kPositive) {
+        EXPECT_TRUE(oracle->Compatible(e.u, e.v))
+            << FamilyName(GetParam().family) << "/" << CompatKindName(kind);
+      } else {
+        EXPECT_FALSE(oracle->Compatible(e.u, e.v))
+            << FamilyName(GetParam().family) << "/" << CompatKindName(kind);
+      }
+    }
+  }
+}
+
+TEST_P(GeneratorFamilyTest, InclusionChainSpotChecks) {
+  SignedGraph g = MakeFamily(GetParam().family, GetParam().seed);
+  auto spa = MakeOracle(g, CompatKind::kSPA);
+  auto spm = MakeOracle(g, CompatKind::kSPM);
+  auto spo = MakeOracle(g, CompatKind::kSPO);
+  auto nne = MakeOracle(g, CompatKind::kNNE);
+  auto sbph = MakeOracle(g, CompatKind::kSBPH);
+  auto sbp = MakeOracle(g, CompatKind::kSBP);
+  for (NodeId u = 0; u < g.num_nodes(); u += 4) {
+    for (NodeId v = 0; v < g.num_nodes(); v += 3) {
+      if (u == v) continue;
+      EXPECT_LE(spa->Compatible(u, v), spm->Compatible(u, v));
+      EXPECT_LE(spm->Compatible(u, v), spo->Compatible(u, v));
+      EXPECT_LE(spo->Compatible(u, v), sbp->Compatible(u, v));
+      EXPECT_LE(sbph->Compatible(u, v), sbp->Compatible(u, v));
+      EXPECT_LE(sbp->Compatible(u, v), nne->Compatible(u, v));
+    }
+  }
+}
+
+std::vector<SweepCase> SweepCases() {
+  std::vector<SweepCase> cases;
+  for (Family f : {Family::kGnm, Family::kPreferential, Family::kSmallWorld,
+                   Family::kPlanted}) {
+    for (uint64_t seed : {1ULL, 2ULL}) cases.push_back({f, seed});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, GeneratorFamilyTest, testing::ValuesIn(SweepCases()),
+    [](const testing::TestParamInfo<SweepCase>& info) {
+      return std::string(FamilyName(info.param.family)) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace tfsn

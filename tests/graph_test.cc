@@ -1,0 +1,204 @@
+#include "src/graph/signed_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/graph_builder.h"
+#include "src/graph/graph_io.h"
+#include "src/graph/transform.h"
+
+namespace tfsn {
+namespace {
+
+SignedGraph Triangle() {
+  SignedGraphBuilder b(3);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 2, Sign::kNegative).CheckOK();
+  b.AddEdge(0, 2, Sign::kNegative).CheckOK();
+  return std::move(b.Build()).ValueOrDie();
+}
+
+TEST(SignedGraphTest, BasicCounts) {
+  SignedGraph g = Triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_negative_edges(), 2u);
+  EXPECT_EQ(g.num_positive_edges(), 1u);
+  EXPECT_NEAR(g.negative_fraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(SignedGraphTest, EdgeSignLookup) {
+  SignedGraph g = Triangle();
+  EXPECT_EQ(g.EdgeSign(0, 1), Sign::kPositive);
+  EXPECT_EQ(g.EdgeSign(1, 0), Sign::kPositive);
+  EXPECT_EQ(g.EdgeSign(1, 2), Sign::kNegative);
+  EXPECT_EQ(g.EdgeSign(0, 2), Sign::kNegative);
+  EXPECT_FALSE(g.EdgeSign(0, 0).has_value());
+  EXPECT_FALSE(g.EdgeSign(0, 99).has_value());
+}
+
+TEST(SignedGraphTest, NeighborsSorted) {
+  SignedGraphBuilder b(5);
+  b.AddEdge(2, 4, Sign::kPositive).CheckOK();
+  b.AddEdge(2, 0, Sign::kNegative).CheckOK();
+  b.AddEdge(2, 3, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  auto nbrs = g.Neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0].to, 0u);
+  EXPECT_EQ(nbrs[1].to, 3u);
+  EXPECT_EQ(nbrs[2].to, 4u);
+  EXPECT_EQ(nbrs[0].sign, Sign::kNegative);
+}
+
+TEST(SignedGraphTest, DegreeAndIsolatedNode) {
+  SignedGraphBuilder b(4);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(3), 0u);
+  EXPECT_TRUE(g.Neighbors(3).empty());
+}
+
+TEST(SignedGraphTest, EdgesCanonicalOrder) {
+  SignedGraph g = Triangle();
+  auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 3u);
+  for (const SignedEdge& e : edges) EXPECT_LT(e.u, e.v);
+}
+
+TEST(SignedGraphTest, PathSign) {
+  SignedGraph g = Triangle();
+  std::vector<NodeId> path{0, 1, 2};  // + then - => negative
+  EXPECT_EQ(*g.PathSign(path), Sign::kNegative);
+  std::vector<NodeId> edge{0, 2};
+  EXPECT_EQ(*g.PathSign(edge), Sign::kNegative);
+  std::vector<NodeId> bad{0, 0};
+  EXPECT_FALSE(g.PathSign(bad).ok());
+  std::vector<NodeId> single{0};
+  EXPECT_FALSE(g.PathSign(single).ok());
+}
+
+TEST(SignedGraphBuilderTest, RejectsSelfLoop) {
+  SignedGraphBuilder b(3);
+  EXPECT_FALSE(b.AddEdge(1, 1, Sign::kPositive).ok());
+}
+
+TEST(SignedGraphBuilderTest, RejectsConflictingDuplicate) {
+  SignedGraphBuilder b(3);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 0, Sign::kNegative).CheckOK();  // recorded; conflict at Build
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(SignedGraphBuilderTest, MergesEqualDuplicates) {
+  SignedGraphBuilder b(3);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 0, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(SignedGraphBuilderTest, EnsureNodeGrows) {
+  SignedGraphBuilder b(0);
+  b.AddEdge(5, 9, Sign::kNegative).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(SignedGraphBuilderTest, EmptyGraph) {
+  SignedGraphBuilder b(0);
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.negative_fraction(), 0.0);
+}
+
+TEST(GraphIoTest, RoundTripThroughString) {
+  SignedGraph g = Triangle();
+  std::string text = ToEdgeListString(g);
+  auto parsed = ParseEdgeList(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_nodes(), 3u);
+  EXPECT_EQ(parsed->num_edges(), 3u);
+  EXPECT_EQ(parsed->num_negative_edges(), 2u);
+}
+
+TEST(GraphIoTest, ParsesCommentsAndSkipsSelfLoops) {
+  uint64_t skipped = 0;
+  auto g = ParseEdgeList("# header\n0 1 1\n2 2 1\n1 2 -1\n", &skipped);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_EQ(skipped, 1u);
+}
+
+TEST(GraphIoTest, RejectsMalformedLine) {
+  EXPECT_FALSE(ParseEdgeList("0 1\n").ok());
+  EXPECT_FALSE(ParseEdgeList("0 1 7\n").ok());
+  EXPECT_FALSE(ParseEdgeList("a b 1\n").ok());
+}
+
+TEST(GraphIoTest, DensifiesSparseIds) {
+  auto g = ParseEdgeList("100 200 1\n200 300 -1\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 3u);
+}
+
+TEST(GraphIoTest, ConflictingDuplicateSkipped) {
+  uint64_t skipped = 0;
+  auto g = ParseEdgeList("0 1 1\n1 0 -1\n", &skipped);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+  EXPECT_EQ(skipped, 1u);
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  SignedGraph g = Triangle();
+  std::string path = testing::TempDir() + "/tfsn_roundtrip.edges";
+  ASSERT_TRUE(WriteEdgeList(g, path).ok());
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  EXPECT_EQ(loaded->num_negative_edges(), g.num_negative_edges());
+}
+
+TEST(GraphIoTest, MissingFileIsIOError) {
+  auto result = LoadEdgeList("/nonexistent/file.edges");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST(TransformTest, IgnoreSignsMakesAllPositive) {
+  SignedGraph g = Triangle();
+  SignedGraph u = IgnoreSigns(g);
+  EXPECT_EQ(u.num_edges(), 3u);
+  EXPECT_EQ(u.num_negative_edges(), 0u);
+}
+
+TEST(TransformTest, DeleteNegativeKeepsPositive) {
+  SignedGraph g = Triangle();
+  SignedGraph d = DeleteNegativeEdges(g);
+  EXPECT_EQ(d.num_edges(), 1u);
+  EXPECT_EQ(d.num_nodes(), 3u);  // node set unchanged
+  EXPECT_EQ(d.EdgeSign(0, 1), Sign::kPositive);
+  EXPECT_FALSE(d.HasEdge(1, 2));
+}
+
+TEST(TransformTest, FlipSignsInverts) {
+  SignedGraph g = Triangle();
+  SignedGraph f = FlipSigns(g);
+  EXPECT_EQ(f.num_negative_edges(), 1u);
+  EXPECT_EQ(f.EdgeSign(0, 1), Sign::kNegative);
+  EXPECT_EQ(f.EdgeSign(1, 2), Sign::kPositive);
+}
+
+TEST(SignTest, Multiplication) {
+  EXPECT_EQ(Sign::kPositive * Sign::kPositive, Sign::kPositive);
+  EXPECT_EQ(Sign::kPositive * Sign::kNegative, Sign::kNegative);
+  EXPECT_EQ(Sign::kNegative * Sign::kNegative, Sign::kPositive);
+  EXPECT_EQ(Negate(Sign::kPositive), Sign::kNegative);
+  EXPECT_EQ(Negate(Sign::kNegative), Sign::kPositive);
+}
+
+}  // namespace
+}  // namespace tfsn

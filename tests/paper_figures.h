@@ -1,0 +1,83 @@
+// The two worked examples from Figure 1 of the paper, used as ground truth
+// across test suites.
+
+#pragma once
+
+#include "src/graph/graph_builder.h"
+#include "src/graph/signed_graph.h"
+
+namespace tfsn::testgraphs {
+
+// Node labels for Figure 1(a).
+inline constexpr NodeId kU = 0, kX1 = 1, kX2 = 2, kX3 = 3, kX4 = 4, kV = 5;
+
+/// Figure 1(a): u and v are SBP-compatible but not SP-compatible.
+/// - only shortest u-v path is (u,x1,v), negative;
+/// - (u,x2,x1,v) is positive but NOT balanced (chord (u,x1) makes the
+///   unbalanced triangle (u,x1,x2));
+/// - (u,x2,x3,x4,v) is positive and balanced.
+inline SignedGraph Figure1a() {
+  SignedGraphBuilder b(6);
+  b.AddEdge(kU, kX1, Sign::kNegative).CheckOK();
+  b.AddEdge(kX1, kV, Sign::kPositive).CheckOK();
+  b.AddEdge(kU, kX2, Sign::kPositive).CheckOK();
+  b.AddEdge(kX2, kX1, Sign::kPositive).CheckOK();
+  b.AddEdge(kX2, kX3, Sign::kNegative).CheckOK();
+  b.AddEdge(kX3, kX4, Sign::kNegative).CheckOK();
+  b.AddEdge(kX4, kV, Sign::kPositive).CheckOK();
+  return std::move(b.Build()).ValueOrDie();
+}
+
+// Node labels for Figure 1(b).
+inline constexpr NodeId kBU = 0, kBX1 = 1, kBX2 = 2, kBX3 = 3, kBX4 = 4,
+                        kBX5 = 5, kBV = 6;
+
+/// Figure 1(b): the prefix property fails for balanced paths. The shortest
+/// balanced path u->x4 is (u,x3,x4), but the shortest balanced u->v path
+/// (u,x1,x2,x4,x5,v) does not extend it, because (u,x3,x4,x5,v) is
+/// unbalanced (negative chord (x3,x5)). SBPH therefore misses (u,v) while
+/// exact SBP finds it.
+inline SignedGraph Figure1b() {
+  SignedGraphBuilder b(7);
+  b.AddEdge(kBU, kBX1, Sign::kPositive).CheckOK();
+  b.AddEdge(kBX1, kBX2, Sign::kPositive).CheckOK();
+  b.AddEdge(kBX2, kBX4, Sign::kPositive).CheckOK();
+  b.AddEdge(kBU, kBX3, Sign::kPositive).CheckOK();
+  b.AddEdge(kBX3, kBX4, Sign::kPositive).CheckOK();
+  b.AddEdge(kBX3, kBX5, Sign::kNegative).CheckOK();
+  b.AddEdge(kBX4, kBX5, Sign::kPositive).CheckOK();
+  b.AddEdge(kBX5, kBV, Sign::kPositive).CheckOK();
+  return std::move(b.Build()).ValueOrDie();
+}
+
+// Node labels for the two-sided prefix-trap gadget.
+inline constexpr NodeId kGU = 0, kGX1 = 1, kGX2 = 2, kGX3 = 3, kGX4 = 4,
+                        kGX5 = 5, kGY3 = 6, kGY2 = 7, kGY1 = 8, kGV = 9;
+
+/// Figure 1(b) doubled: the prefix trap is installed on *both* endpoints,
+/// so the SBPH label-setting heuristic misses the balanced positive u-v
+/// path from either direction, while exact SBP finds
+/// (u,x1,x2,x4,x5,y2,y1,v). Used to show SBPH ⊊ SBP even under the
+/// symmetric closure.
+inline SignedGraph TwoSidedPrefixTrap() {
+  SignedGraphBuilder b(10);
+  // Left clean route u -> x4 (length 3) and short trap route (length 2).
+  b.AddEdge(kGU, kGX1, Sign::kPositive).CheckOK();
+  b.AddEdge(kGX1, kGX2, Sign::kPositive).CheckOK();
+  b.AddEdge(kGX2, kGX4, Sign::kPositive).CheckOK();
+  b.AddEdge(kGU, kGX3, Sign::kPositive).CheckOK();
+  b.AddEdge(kGX3, kGX4, Sign::kPositive).CheckOK();
+  b.AddEdge(kGX3, kGX5, Sign::kNegative).CheckOK();  // left trap chord
+  // Junction.
+  b.AddEdge(kGX4, kGX5, Sign::kPositive).CheckOK();
+  // Right short trap route v -> x5 (length 2) and clean route (length 3).
+  b.AddEdge(kGX5, kGY3, Sign::kPositive).CheckOK();
+  b.AddEdge(kGY3, kGV, Sign::kPositive).CheckOK();
+  b.AddEdge(kGY3, kGX4, Sign::kNegative).CheckOK();  // right trap chord
+  b.AddEdge(kGX5, kGY2, Sign::kPositive).CheckOK();
+  b.AddEdge(kGY2, kGY1, Sign::kPositive).CheckOK();
+  b.AddEdge(kGY1, kGV, Sign::kPositive).CheckOK();
+  return std::move(b.Build()).ValueOrDie();
+}
+
+}  // namespace tfsn::testgraphs

@@ -1,0 +1,195 @@
+// Tests for team refinement and the materialized compatibility matrix.
+
+#include "src/team/refine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/compat/compat_graph.h"
+#include "src/compat/skill_index.h"
+#include "src/gen/generators.h"
+#include "src/graph/graph_builder.h"
+#include "src/skills/skill_generator.h"
+#include "src/team/greedy.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+namespace {
+
+TEST(RefineTest, DropsRedundantMember) {
+  // Path 0-1-2 all positive; task {a}; team {0, 2} where both hold a.
+  SignedGraphBuilder b(3);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 2, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  auto sa = std::move(SkillAssignment::Create({{0}, {}, {0}}, 1)).ValueOrDie();
+  auto oracle = MakeOracle(g, CompatKind::kNNE);
+  RefinementResult r =
+      RefineTeam(oracle.get(), sa, Task({0}), {0, 2});
+  EXPECT_EQ(r.members.size(), 1u);
+  EXPECT_EQ(r.members_removed, 1u);
+  EXPECT_EQ(r.cost_after, 0u);
+  EXPECT_LT(r.cost_after, r.cost_before);
+}
+
+TEST(RefineTest, SwapsDistantMemberForCloseOne) {
+  // 0 needs skill 1 held by both 3 (distance 3) and 1 (distance 1).
+  // Start with the bad team {0, 3}; refinement should swap 3 -> 1.
+  SignedGraphBuilder b(4);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 2, Sign::kPositive).CheckOK();
+  b.AddEdge(2, 3, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  auto sa = std::move(SkillAssignment::Create({{0}, {1}, {}, {1}}, 2))
+                .ValueOrDie();
+  auto oracle = MakeOracle(g, CompatKind::kNNE);
+  RefinementResult r = RefineTeam(oracle.get(), sa, Task({0, 1}), {0, 3});
+  EXPECT_EQ(r.members, (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(r.swaps_applied, 1u);
+  EXPECT_EQ(r.cost_after, 1u);
+  EXPECT_EQ(r.cost_before, 3u);
+}
+
+TEST(RefineTest, PreservesValidityOnRandomInstances) {
+  Rng master(61);
+  for (int trial = 0; trial < 8; ++trial) {
+    Rng rng = master.Fork();
+    SignedGraph g = RandomConnectedGnm(60, 180, 0.25, &rng);
+    ZipfSkillParams sp;
+    sp.num_skills = 12;
+    SkillAssignment sa = ZipfSkills(60, sp, &rng);
+    auto oracle = MakeOracle(g, CompatKind::kSPM);
+    Rng index_rng = master.Fork();
+    SkillCompatibilityIndex index(oracle.get(), sa, 0, &index_rng);
+    GreedyParams params;
+    GreedyTeamFormer former(oracle.get(), sa, &index, params);
+    Task task = RandomTask(sa, 4, &rng);
+    TeamResult team = former.Form(task, &rng);
+    if (!team.found) continue;
+    RefinementResult refined =
+        RefineTeam(oracle.get(), sa, task, team.members);
+    EXPECT_LE(refined.cost_after, refined.cost_before);
+    EXPECT_TRUE(TeamCoversTask(sa, task, refined.members));
+    EXPECT_TRUE(TeamCompatible(oracle.get(), refined.members));
+    EXPECT_LE(refined.members.size(), team.members.size());
+  }
+}
+
+TEST(RefineTest, DisabledPhasesAreNoOps) {
+  Rng rng(67);
+  SignedGraph g = RandomConnectedGnm(30, 80, 0.2, &rng);
+  ZipfSkillParams sp;
+  sp.num_skills = 6;
+  SkillAssignment sa = ZipfSkills(30, sp, &rng);
+  auto oracle = MakeOracle(g, CompatKind::kNNE);
+  Task task = RandomTask(sa, 3, &rng);
+  // Build some covering team by brute force: all holders of each skill.
+  std::vector<NodeId> team;
+  for (SkillId s : task.skills()) {
+    auto holders = sa.Holders(s);
+    if (!holders.empty()) team.push_back(holders[0]);
+  }
+  RefineOptions off;
+  off.prune_redundant = false;
+  off.swap_members = false;
+  RefinementResult r = RefineTeam(oracle.get(), sa, task, team, off);
+  EXPECT_EQ(r.members_removed, 0u);
+  EXPECT_EQ(r.swaps_applied, 0u);
+  EXPECT_EQ(r.cost_after, r.cost_before);
+}
+
+TEST(RefineTest, SingletonTeamUntouched) {
+  SignedGraphBuilder b(2);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  auto sa = std::move(SkillAssignment::Create({{0}, {}}, 1)).ValueOrDie();
+  auto oracle = MakeOracle(g, CompatKind::kNNE);
+  RefinementResult r = RefineTeam(oracle.get(), sa, Task({0}), {0});
+  EXPECT_EQ(r.members, std::vector<NodeId>{0});
+  EXPECT_EQ(r.cost_after, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// CompatibilityMatrix
+// ---------------------------------------------------------------------------
+
+TEST(CompatMatrixTest, AgreesWithOracle) {
+  Rng rng(71);
+  SignedGraph g = RandomConnectedGnm(40, 100, 0.3, &rng);
+  for (CompatKind kind :
+       {CompatKind::kSPA, CompatKind::kSBPH, CompatKind::kNNE}) {
+    auto oracle = MakeOracle(g, kind);
+    CompatibilityMatrix m = CompatibilityMatrix::Build(oracle.get());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        EXPECT_EQ(m.Compatible(u, v), oracle->Compatible(u, v))
+            << CompatKindName(kind) << " (" << u << "," << v << ")";
+      }
+    }
+  }
+}
+
+TEST(CompatMatrixTest, DensityAndDegrees) {
+  // Triangle with one negative edge under NNE: pairs (0,1),(0,2) comp,
+  // (1,2) not.
+  SignedGraphBuilder b(3);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 2, Sign::kNegative).CheckOK();
+  b.AddEdge(0, 2, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  auto oracle = MakeOracle(g, CompatKind::kNNE);
+  CompatibilityMatrix m = CompatibilityMatrix::Build(oracle.get());
+  EXPECT_EQ(m.num_compatible_pairs(), 2u);
+  EXPECT_NEAR(m.density(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(m.CompatDegree(0), 2u);
+  EXPECT_EQ(m.CompatDegree(1), 1u);
+  EXPECT_TRUE(m.IsClique({0, 1}));
+  EXPECT_FALSE(m.IsClique({0, 1, 2}));
+}
+
+TEST(CompatMatrixTest, GreedyCliqueIsMaximalClique) {
+  Rng rng(73);
+  SignedGraph g = RandomConnectedGnm(50, 160, 0.3, &rng);
+  auto oracle = MakeOracle(g, CompatKind::kSPM);
+  CompatibilityMatrix m = CompatibilityMatrix::Build(oracle.get());
+  std::vector<NodeId> clique = m.GreedyMaximalClique(0);
+  EXPECT_TRUE(m.IsClique(clique));
+  EXPECT_TRUE(std::find(clique.begin(), clique.end(), 0u) != clique.end());
+  // Maximality: no node outside extends the clique.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (std::find(clique.begin(), clique.end(), u) != clique.end()) continue;
+    bool fits = true;
+    for (NodeId member : clique) {
+      if (!m.Compatible(u, member)) {
+        fits = false;
+        break;
+      }
+    }
+    EXPECT_FALSE(fits) << "node " << u << " extends the 'maximal' clique";
+  }
+}
+
+TEST(CompatMatrixTest, TeamsAreCliques) {
+  // The clique view: every team Algorithm 2 outputs must be a clique of
+  // the compatibility matrix.
+  Rng rng(79);
+  SignedGraph g = RandomConnectedGnm(50, 140, 0.2, &rng);
+  ZipfSkillParams sp;
+  sp.num_skills = 10;
+  SkillAssignment sa = ZipfSkills(50, sp, &rng);
+  auto oracle = MakeOracle(g, CompatKind::kSPO);
+  CompatibilityMatrix m = CompatibilityMatrix::Build(oracle.get());
+  Rng index_rng(83);
+  SkillCompatibilityIndex index(oracle.get(), sa, 0, &index_rng);
+  GreedyParams params;
+  GreedyTeamFormer former(oracle.get(), sa, &index, params);
+  for (int trial = 0; trial < 10; ++trial) {
+    Task task = RandomTask(sa, 3, &rng);
+    TeamResult team = former.Form(task, &rng);
+    if (team.found) {
+      EXPECT_TRUE(m.IsClique(team.members));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tfsn

@@ -1,0 +1,152 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/util/zipf.h"
+
+namespace tfsn {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.Next() == b.Next();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextInt(-3, 3));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), -3);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRoughlyUniform) {
+  Rng rng(17);
+  double sum = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, NextBoolFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.NextBool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(31);
+  for (uint32_t k : {0u, 1u, 5u, 50u, 100u}) {
+    auto sample = rng.SampleWithoutReplacement(100, k);
+    ASSERT_EQ(sample.size(), k);
+    std::set<uint32_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (uint32_t s : sample) EXPECT_LT(s, 100u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(37);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += parent.Next() == child.Next();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler zipf(100, 1.0);
+  double total = 0;
+  for (uint32_t r = 0; r < 100; ++r) total += zipf.Pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankZeroMostLikely) {
+  ZipfSampler zipf(50, 1.2);
+  for (uint32_t r = 1; r < 50; ++r) {
+    EXPECT_GT(zipf.Pmf(0), zipf.Pmf(r));
+  }
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  ZipfSampler zipf(20, 1.0);
+  Rng rng(43);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(&rng), 20u);
+}
+
+TEST(ZipfTest, EmpiricalHeadFrequencyMatchesPmf) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(47);
+  const int kDraws = 50000;
+  int head = 0;
+  for (int i = 0; i < kDraws; ++i) head += zipf.Sample(&rng) == 0;
+  EXPECT_NEAR(static_cast<double>(head) / kDraws, zipf.Pmf(0), 0.01);
+}
+
+TEST(ZipfTest, DegenerateSingleRank) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(53);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+}  // namespace
+}  // namespace tfsn

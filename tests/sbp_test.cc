@@ -1,0 +1,252 @@
+// Tests for the exact SBP search and the SBPH heuristic, including both
+// worked examples from Figure 1 of the paper.
+
+#include "src/compat/sbp.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_figures.h"
+#include "src/gen/generators.h"
+#include "src/graph/balance.h"
+#include "src/graph/graph_builder.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+namespace {
+
+using testgraphs::Figure1a;
+using testgraphs::Figure1b;
+
+TEST(SbpExactTest, DirectPositiveEdgeIsCompatible) {
+  SignedGraphBuilder b(2);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  SbpExactSearch search(g);
+  EXPECT_TRUE(search.Compatible(0, 1));
+  auto r = search.ShortestBalancedPath(0, 1, Sign::kPositive);
+  ASSERT_TRUE(r.length.has_value());
+  EXPECT_EQ(*r.length, 1u);
+}
+
+TEST(SbpExactTest, DirectNegativeEdgeIsIncompatible) {
+  // Even with a positive detour, the negative edge (0,1) is a chord of any
+  // 0-1 path, so no positive balanced path can exist.
+  SignedGraphBuilder b(3);
+  b.AddEdge(0, 1, Sign::kNegative).CheckOK();
+  b.AddEdge(0, 2, Sign::kPositive).CheckOK();
+  b.AddEdge(2, 1, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  SbpExactSearch search(g);
+  EXPECT_FALSE(search.Compatible(0, 1));
+}
+
+TEST(SbpExactTest, Figure1aCompatibleWithLength4) {
+  SignedGraph g = Figure1a();
+  using namespace testgraphs;
+  SbpExactSearch search(g);
+  EXPECT_TRUE(search.Compatible(kU, kV));
+  auto r = search.ShortestBalancedPath(kU, kV, Sign::kPositive);
+  ASSERT_TRUE(r.length.has_value());
+  EXPECT_EQ(*r.length, 4u);  // (u,x2,x3,x4,v)
+  EXPECT_EQ(r.witness.front(), kU);
+  EXPECT_EQ(r.witness.back(), kV);
+  EXPECT_TRUE(IsPathBalanced(g, r.witness));
+  EXPECT_EQ(*g.PathSign(r.witness), Sign::kPositive);
+}
+
+TEST(SbpExactTest, Figure1bCompatibleViaNonPrefixPath) {
+  SignedGraph g = Figure1b();
+  using namespace testgraphs;
+  SbpExactSearch search(g);
+  EXPECT_TRUE(search.Compatible(kBU, kBV));
+  auto r = search.ShortestBalancedPath(kBU, kBV, Sign::kPositive);
+  ASSERT_TRUE(r.length.has_value());
+  EXPECT_EQ(*r.length, 5u);  // (u,x1,x2,x4,x5,v)
+  EXPECT_TRUE(IsPathBalanced(g, r.witness));
+}
+
+TEST(SbpExactTest, NegativeTargetSign) {
+  SignedGraph g = Figure1a();
+  using namespace testgraphs;
+  SbpExactSearch search(g);
+  auto r = search.ShortestBalancedPath(kU, kV, Sign::kNegative);
+  ASSERT_TRUE(r.length.has_value());
+  EXPECT_EQ(*r.length, 2u);  // (u,x1,v) is negative and balanced
+  EXPECT_EQ(*g.PathSign(r.witness), Sign::kNegative);
+}
+
+TEST(SbpExactTest, DisconnectedPairNotFound) {
+  SignedGraphBuilder b(4);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(2, 3, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  SbpExactSearch search(g);
+  auto r = search.ShortestBalancedPath(0, 3, Sign::kPositive);
+  EXPECT_FALSE(r.length.has_value());
+  EXPECT_FALSE(r.exhausted);
+}
+
+TEST(SbpExactTest, DepthCapBlocksLongPaths) {
+  // 0-1-2-3-4 positive chain: the only 0-4 path has length 4.
+  SignedGraphBuilder b(5);
+  for (NodeId i = 0; i + 1 < 5; ++i) {
+    b.AddEdge(i, i + 1, Sign::kPositive).CheckOK();
+  }
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  SbpExactParams params;
+  params.max_depth = 3;
+  SbpExactSearch search(g, params);
+  EXPECT_FALSE(search.ShortestBalancedPath(0, 4, Sign::kPositive)
+                   .length.has_value());
+  params.max_depth = 4;
+  SbpExactSearch deeper(g, params);
+  EXPECT_TRUE(deeper.ShortestBalancedPath(0, 4, Sign::kPositive)
+                  .length.has_value());
+}
+
+TEST(SbpExactTest, WitnessIsSimplePath) {
+  Rng rng(41);
+  SignedGraph g = RandomConnectedGnm(30, 70, 0.3, &rng);
+  SbpExactSearch search(g);
+  for (NodeId v = 1; v < 10; ++v) {
+    auto r = search.ShortestBalancedPath(0, v, Sign::kPositive);
+    if (!r.length.has_value()) continue;
+    std::vector<NodeId> sorted = r.witness;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end())
+        << "witness revisits a node";
+    EXPECT_TRUE(IsPathBalanced(g, r.witness));
+    EXPECT_EQ(*g.PathSign(r.witness), Sign::kPositive);
+  }
+}
+
+TEST(SbphTest, SourceDistZero) {
+  SignedGraph g = Figure1a();
+  SbphResult r = SbphFromSource(g, testgraphs::kU);
+  EXPECT_EQ(r.pos_dist[testgraphs::kU], 0u);
+  EXPECT_EQ(r.neg_dist[testgraphs::kU], kUnreachable);
+}
+
+TEST(SbphTest, Figure1aFindsTheBalancedPath) {
+  SignedGraph g = Figure1a();
+  using namespace testgraphs;
+  SbphResult r = SbphFromSource(g, kU);
+  // The heuristic reaches v positively via (u,x2,x3,x4,v)...
+  EXPECT_EQ(r.pos_dist[kV], 4u);
+  // ...and negatively via (u,x1,v).
+  EXPECT_EQ(r.neg_dist[kV], 2u);
+}
+
+TEST(SbphTest, Figure1bHeuristicMissesWhatExactFinds) {
+  // The paper's Figure 1(b): the balanced positive u-v path exists but does
+  // not have the prefix property, so SBPH must miss it.
+  SignedGraph g = Figure1b();
+  using namespace testgraphs;
+  SbphResult r = SbphFromSource(g, kBU);
+  EXPECT_EQ(r.pos_dist[kBV], kUnreachable);  // heuristic miss
+  SbpExactSearch exact(g);
+  EXPECT_TRUE(exact.Compatible(kBU, kBV));   // exact hit
+}
+
+TEST(SbphTest, NeverClaimsMoreThanExact) {
+  // Soundness: every pair SBPH reports compatible is SBP-compatible, and
+  // the heuristic distance upper-bounds the exact distance.
+  Rng rng(43);
+  for (int trial = 0; trial < 8; ++trial) {
+    SignedGraph g = RandomConnectedGnm(24, 50, 0.35, &rng);
+    SbpExactSearch exact(g);
+    for (NodeId q = 0; q < 4; ++q) {
+      SbphResult h = SbphFromSource(g, q);
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (v == q || h.pos_dist[v] == kUnreachable) continue;
+        auto r = exact.ShortestBalancedPath(q, v, Sign::kPositive);
+        ASSERT_TRUE(r.length.has_value())
+            << "SBPH claims balanced positive path " << q << "->" << v
+            << " that exact search cannot find";
+        EXPECT_LE(*r.length, h.pos_dist[v]);
+      }
+    }
+  }
+}
+
+TEST(SbphTest, DirectEdgesRespected) {
+  Rng rng(47);
+  SignedGraph g = RandomConnectedGnm(40, 120, 0.4, &rng);
+  for (NodeId q = 0; q < 6; ++q) {
+    SbphResult r = SbphFromSource(g, q);
+    for (const Neighbor& nb : g.Neighbors(q)) {
+      if (nb.sign == Sign::kPositive) {
+        EXPECT_EQ(r.pos_dist[nb.to], 1u);
+      } else {
+        // Negative edge: no positive balanced path may exist at all.
+        EXPECT_EQ(r.pos_dist[nb.to], kUnreachable);
+      }
+    }
+  }
+}
+
+TEST(SbphTest, MaxDepthBounds) {
+  SignedGraphBuilder b(5);
+  for (NodeId i = 0; i + 1 < 5; ++i) {
+    b.AddEdge(i, i + 1, Sign::kPositive).CheckOK();
+  }
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  SbphResult r = SbphFromSource(g, 0, /*max_depth=*/2);
+  EXPECT_EQ(r.pos_dist[2], 2u);
+  EXPECT_EQ(r.pos_dist[3], kUnreachable);
+}
+
+TEST(SbphTest, AllPositiveGraphMatchesBfs) {
+  // With no negative edges every path is positive and balanced, so SBPH
+  // distance equals plain BFS distance.
+  Rng rng(53);
+  SignedGraph g = RandomConnectedGnm(50, 120, 0.0, &rng);
+  for (NodeId q = 0; q < 5; ++q) {
+    SbphResult r = SbphFromSource(g, q);
+    auto bfs = BfsDistances(g, q);
+    EXPECT_EQ(r.pos_dist, bfs);
+  }
+}
+
+TEST(SbpExactTest, AllPositiveGraphDistanceMatchesBfs) {
+  Rng rng(59);
+  SignedGraph g = RandomConnectedGnm(25, 60, 0.0, &rng);
+  SbpExactSearch search(g);
+  auto bfs = BfsDistances(g, 0);
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    auto r = search.ShortestBalancedPath(0, v, Sign::kPositive);
+    ASSERT_TRUE(r.length.has_value());
+    EXPECT_EQ(*r.length, bfs[v]);
+  }
+}
+
+TEST(SbpExactTest, BalancedGraphAllSameFactionCompatible) {
+  // In an exactly balanced graph, u and v in the same faction are always
+  // SBP-compatible (any path staying consistent exists); cross-faction
+  // pairs are never positively connected by a balanced path.
+  Rng rng(61);
+  SignedGraph g = RandomBalancedGraph(20, 60, &rng);
+  BalanceCheck check = CheckBalance(g);
+  ASSERT_TRUE(check.balanced);
+  SbpExactSearch search(g);
+  int same = 0, cross = 0;
+  // Sample pairs across the whole graph so both factions are hit.
+  for (NodeId u = 0; u < g.num_nodes(); u += 3) {
+    for (NodeId v = u + 1; v < g.num_nodes(); v += 5) {
+      bool compatible = search.Compatible(u, v);
+      if (check.side[u] == check.side[v]) {
+        EXPECT_TRUE(compatible) << u << "," << v;
+        ++same;
+      } else {
+        EXPECT_FALSE(compatible) << u << "," << v;
+        ++cross;
+      }
+    }
+  }
+  EXPECT_GT(same, 0);
+  EXPECT_GT(cross, 0);
+}
+
+}  // namespace
+}  // namespace tfsn

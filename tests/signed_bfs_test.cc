@@ -1,0 +1,161 @@
+// Tests for Algorithm 1 (signed shortest-path counting).
+
+#include "src/compat/signed_bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_figures.h"
+#include "src/gen/generators.h"
+#include "src/graph/graph_builder.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+namespace {
+
+TEST(SignedBfsTest, SingleEdgeCounts) {
+  SignedGraphBuilder b(2);
+  b.AddEdge(0, 1, Sign::kNegative).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  SignedBfsResult r = SignedShortestPathCount(g, 0);
+  EXPECT_EQ(r.dist[0], 0u);
+  EXPECT_EQ(r.num_pos[0], 1u);
+  EXPECT_EQ(r.num_neg[0], 0u);
+  EXPECT_EQ(r.dist[1], 1u);
+  EXPECT_EQ(r.num_pos[1], 0u);
+  EXPECT_EQ(r.num_neg[1], 1u);
+}
+
+TEST(SignedBfsTest, TwoParallelRoutesSplitBySign) {
+  // 0 -> 1 -> 3 (both +) and 0 -> 2 -> 3 (one -): two shortest paths of
+  // length 2, one positive one negative.
+  SignedGraphBuilder b(4);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 3, Sign::kPositive).CheckOK();
+  b.AddEdge(0, 2, Sign::kNegative).CheckOK();
+  b.AddEdge(2, 3, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  SignedBfsResult r = SignedShortestPathCount(g, 0);
+  EXPECT_EQ(r.dist[3], 2u);
+  EXPECT_EQ(r.num_pos[3], 1u);
+  EXPECT_EQ(r.num_neg[3], 1u);
+}
+
+TEST(SignedBfsTest, NegativeTimesNegativeIsPositive) {
+  // 0 -(-)- 1 -(-)- 2: the double negative path is positive.
+  SignedGraphBuilder b(3);
+  b.AddEdge(0, 1, Sign::kNegative).CheckOK();
+  b.AddEdge(1, 2, Sign::kNegative).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  SignedBfsResult r = SignedShortestPathCount(g, 0);
+  EXPECT_EQ(r.num_pos[2], 1u);
+  EXPECT_EQ(r.num_neg[2], 0u);
+}
+
+TEST(SignedBfsTest, CountsMultiplyAcrossLayers) {
+  // Diamond chain: 0 -> {1,2} -> 3 -> {4,5} -> 6, all positive:
+  // 4 shortest paths 0..6, all positive.
+  SignedGraphBuilder b(7);
+  for (auto [u, v] : {std::pair{0, 1}, {0, 2}, {1, 3}, {2, 3},
+                      {3, 4}, {3, 5}, {4, 6}, {5, 6}}) {
+    b.AddEdge(u, v, Sign::kPositive).CheckOK();
+  }
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  SignedBfsResult r = SignedShortestPathCount(g, 0);
+  EXPECT_EQ(r.dist[6], 4u);
+  EXPECT_EQ(r.num_pos[6], 4u);
+  EXPECT_EQ(r.num_neg[6], 0u);
+}
+
+TEST(SignedBfsTest, MixedDiamond) {
+  // 0 -> 1 (+) -> 3 (+); 0 -> 2 (-) -> 3 (-): both paths positive or
+  // positive? (-)*(-) = + so both are positive.
+  SignedGraphBuilder b(4);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 3, Sign::kPositive).CheckOK();
+  b.AddEdge(0, 2, Sign::kNegative).CheckOK();
+  b.AddEdge(2, 3, Sign::kNegative).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  SignedBfsResult r = SignedShortestPathCount(g, 0);
+  EXPECT_EQ(r.num_pos[3], 2u);
+  EXPECT_EQ(r.num_neg[3], 0u);
+}
+
+TEST(SignedBfsTest, LongerPathsNotCounted) {
+  // Triangle 0-1-2 plus direct edge 0-2: shortest 0->2 is the edge; the
+  // 2-hop path through 1 must not contribute.
+  SignedGraphBuilder b(3);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 2, Sign::kPositive).CheckOK();
+  b.AddEdge(0, 2, Sign::kNegative).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  SignedBfsResult r = SignedShortestPathCount(g, 0);
+  EXPECT_EQ(r.dist[2], 1u);
+  EXPECT_EQ(r.num_pos[2], 0u);
+  EXPECT_EQ(r.num_neg[2], 1u);
+}
+
+TEST(SignedBfsTest, UnreachableNodesUntouched) {
+  SignedGraphBuilder b(3);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  SignedBfsResult r = SignedShortestPathCount(g, 0);
+  EXPECT_EQ(r.dist[2], kUnreachable);
+  EXPECT_EQ(r.num_pos[2], 0u);
+  EXPECT_EQ(r.num_neg[2], 0u);
+}
+
+TEST(SignedBfsTest, Figure1aShortestPathIsNegative) {
+  SignedGraph g = testgraphs::Figure1a();
+  using namespace testgraphs;
+  SignedBfsResult r = SignedShortestPathCount(g, kU);
+  // Only shortest u-v path is (u,x1,v): length 2, negative.
+  EXPECT_EQ(r.dist[kV], 2u);
+  EXPECT_EQ(r.num_pos[kV], 0u);
+  EXPECT_EQ(r.num_neg[kV], 1u);
+}
+
+TEST(SignedBfsTest, TotalCountsMatchUnsignedPathCounts) {
+  // Property: N+ + N- equals the plain number of shortest paths, checked
+  // against an independent unsigned count.
+  Rng rng(101);
+  for (int trial = 0; trial < 10; ++trial) {
+    SignedGraph g = RandomConnectedGnm(40, 100, 0.4, &rng);
+    SignedBfsResult r = SignedShortestPathCount(g, 0);
+    // Independent count: BFS layer DP ignoring signs.
+    std::vector<uint64_t> count(g.num_nodes(), 0);
+    count[0] = 1;
+    for (uint32_t level = 0; level < g.num_nodes(); ++level) {
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (r.dist[u] != level) continue;
+        for (const Neighbor& nb : g.Neighbors(u)) {
+          if (r.dist[nb.to] == level + 1) count[nb.to] += count[u];
+        }
+      }
+    }
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(r.num_pos[v] + r.num_neg[v], count[v]) << "node " << v;
+    }
+  }
+}
+
+TEST(SignedBfsTest, SymmetryOfPairPredicates) {
+  Rng rng(103);
+  SignedGraph g = RandomConnectedGnm(30, 70, 0.4, &rng);
+  for (NodeId u = 0; u < 10; ++u) {
+    for (NodeId v = 0; v < 10; ++v) {
+      EXPECT_EQ(IsSpaCompatible(g, u, v), IsSpaCompatible(g, v, u));
+      EXPECT_EQ(IsSpmCompatible(g, u, v), IsSpmCompatible(g, v, u));
+      EXPECT_EQ(IsSpoCompatible(g, u, v), IsSpoCompatible(g, v, u));
+    }
+  }
+}
+
+TEST(SignedBfsTest, ReflexiveConveniencepredicates) {
+  SignedGraph g = testgraphs::Figure1a();
+  EXPECT_TRUE(IsSpaCompatible(g, 2, 2));
+  EXPECT_TRUE(IsSpmCompatible(g, 2, 2));
+  EXPECT_TRUE(IsSpoCompatible(g, 2, 2));
+}
+
+}  // namespace
+}  // namespace tfsn

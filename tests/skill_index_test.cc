@@ -1,0 +1,113 @@
+#include "src/compat/skill_index.h"
+
+#include <gtest/gtest.h>
+
+#include "src/gen/generators.h"
+#include "src/graph/graph_builder.h"
+#include "src/skills/skill_generator.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+namespace {
+
+// 0 -(+)- 1 -(+)- 2, 0 -(-)- 3.
+SignedGraph Line() {
+  SignedGraphBuilder b(4);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 2, Sign::kPositive).CheckOK();
+  b.AddEdge(0, 3, Sign::kNegative).CheckOK();
+  return std::move(b.Build()).ValueOrDie();
+}
+
+TEST(SkillIndexTest, HandComputedCounts) {
+  SignedGraph g = Line();
+  // skills: user0 -> {0}, user1 -> {1}, user2 -> {0}, user3 -> {1}.
+  auto sa = std::move(SkillAssignment::Create({{0}, {1}, {0}, {1}}, 2))
+                .ValueOrDie();
+  auto oracle = MakeOracle(g, CompatKind::kNNE);
+  Rng rng(1);
+  SkillCompatibilityIndex index(oracle.get(), sa, 0, &rng);
+  // NNE: all ordered pairs compatible except (0,3)/(3,0), plus self pairs.
+  // cd(0,1) counts compatible (u,v) with skill(u)=0, skill(v)=1:
+  // ordered pairs: (0,1) (0,3)x (2,1) (2,3) and reverse side (1,0) (1,2)
+  // (3,0)x (3,2) -> after symmetrization count = 6.
+  EXPECT_EQ(index.PairCount(0, 1), 6u);
+  EXPECT_TRUE(index.SkillsCompatible(0, 1));
+  EXPECT_EQ(index.Degree(0), 6u);
+  EXPECT_EQ(index.Degree(1), 6u);
+}
+
+TEST(SkillIndexTest, SelfPairsCounted) {
+  SignedGraph g = Line();
+  // user0 holds both skills: self-compatibility makes cd(0,1) > 0 even
+  // if nothing else does.
+  auto sa = std::move(SkillAssignment::Create({{0, 1}, {}, {}, {}}, 2))
+                .ValueOrDie();
+  auto oracle = MakeOracle(g, CompatKind::kDPE);
+  Rng rng(2);
+  SkillCompatibilityIndex index(oracle.get(), sa, 0, &rng);
+  EXPECT_TRUE(index.SkillsCompatible(0, 1));
+}
+
+TEST(SkillIndexTest, IncompatibleSkillsWhenHoldersAreFoes) {
+  SignedGraph g = Line();
+  // skill 0 only held by user 0, skill 1 only by user 3; (0,3) is negative.
+  auto sa = std::move(SkillAssignment::Create({{0}, {}, {}, {1}}, 2))
+                .ValueOrDie();
+  auto oracle = MakeOracle(g, CompatKind::kNNE);
+  Rng rng(3);
+  SkillCompatibilityIndex index(oracle.get(), sa, 0, &rng);
+  EXPECT_FALSE(index.SkillsCompatible(0, 1));
+  EXPECT_EQ(index.Degree(0), 0u);
+}
+
+TEST(SkillIndexTest, CompatibleSkillPairFractionBounds) {
+  Rng rng(4);
+  SignedGraph g = RandomConnectedGnm(60, 150, 0.3, &rng);
+  ZipfSkillParams params;
+  params.num_skills = 20;
+  SkillAssignment sa = ZipfSkills(60, params, &rng);
+  auto oracle = MakeOracle(g, CompatKind::kSPO);
+  SkillCompatibilityIndex index(oracle.get(), sa, 0, &rng);
+  double f = index.CompatibleSkillPairFraction();
+  EXPECT_GE(f, 0.0);
+  EXPECT_LE(f, 1.0);
+}
+
+TEST(SkillIndexTest, SampledBuildUndercountsButAgreesOnOrder) {
+  Rng rng(5);
+  SignedGraph g = RandomConnectedGnm(80, 240, 0.25, &rng);
+  ZipfSkillParams params;
+  params.num_skills = 12;
+  SkillAssignment sa = ZipfSkills(80, params, &rng);
+  auto oracle = MakeOracle(g, CompatKind::kSPM);
+  SkillCompatibilityIndex full(oracle.get(), sa, 0, &rng);
+  SkillCompatibilityIndex sampled(oracle.get(), sa, 30, &rng);
+  EXPECT_EQ(sampled.sources_used(), 30u);
+  for (SkillId s = 0; s < 12; ++s) {
+    for (SkillId t = 0; t < 12; ++t) {
+      EXPECT_LE(sampled.PairCount(s, t), full.PairCount(s, t));
+    }
+  }
+}
+
+TEST(SkillIndexTest, RelaxedRelationDominatesStrict) {
+  // cd under NNE must dominate cd under SPA pointwise (Proposition 3.5).
+  Rng rng(6);
+  SignedGraph g = RandomConnectedGnm(50, 120, 0.3, &rng);
+  ZipfSkillParams params;
+  params.num_skills = 10;
+  SkillAssignment sa = ZipfSkills(50, params, &rng);
+  auto spa = MakeOracle(g, CompatKind::kSPA);
+  auto nne = MakeOracle(g, CompatKind::kNNE);
+  SkillCompatibilityIndex spa_index(spa.get(), sa, 0, &rng);
+  SkillCompatibilityIndex nne_index(nne.get(), sa, 0, &rng);
+  for (SkillId s = 0; s < 10; ++s) {
+    for (SkillId t = 0; t < 10; ++t) {
+      EXPECT_LE(spa_index.PairCount(s, t), nne_index.PairCount(s, t));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tfsn

@@ -1,0 +1,67 @@
+#include "src/skills/skills_io.h"
+
+#include <gtest/gtest.h>
+
+#include "src/skills/skill_generator.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+namespace {
+
+TEST(SkillsIoTest, RoundTripThroughString) {
+  Rng rng(3);
+  ZipfSkillParams params;
+  params.num_skills = 40;
+  SkillAssignment sa = ZipfSkills(25, params, &rng);
+  auto parsed = ParseSkills(ToSkillsString(sa));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->num_users(), sa.num_users());
+  EXPECT_EQ(parsed->num_skills(), sa.num_skills());
+  EXPECT_EQ(parsed->num_assignments(), sa.num_assignments());
+  for (uint32_t u = 0; u < sa.num_users(); ++u) {
+    ASSERT_EQ(parsed->SkillsOf(u).size(), sa.SkillsOf(u).size());
+    for (size_t i = 0; i < sa.SkillsOf(u).size(); ++i) {
+      EXPECT_EQ(parsed->SkillsOf(u)[i], sa.SkillsOf(u)[i]);
+    }
+  }
+}
+
+TEST(SkillsIoTest, EmptyLinesAreSkilllessUsers) {
+  auto parsed = ParseSkills("!skills 5\n0 2\n\n4\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_users(), 3u);
+  EXPECT_TRUE(parsed->SkillsOf(1).empty());
+  EXPECT_EQ(parsed->num_skills(), 5u);
+}
+
+TEST(SkillsIoTest, CommentsIgnored) {
+  auto parsed = ParseSkills("# hello\n!skills 3\n1\n# mid comment\n2\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_users(), 2u);
+}
+
+TEST(SkillsIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseSkills("!skills x\n").ok());
+  EXPECT_FALSE(ParseSkills("1 banana\n").ok());
+  EXPECT_FALSE(ParseSkills("!skills 2\n7\n").ok());  // id out of range
+}
+
+TEST(SkillsIoTest, FileRoundTrip) {
+  Rng rng(5);
+  ZipfSkillParams params;
+  params.num_skills = 16;
+  SkillAssignment sa = ZipfSkills(12, params, &rng);
+  std::string path = testing::TempDir() + "/tfsn_skills.txt";
+  ASSERT_TRUE(WriteSkills(sa, path).ok());
+  auto loaded = LoadSkills(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_assignments(), sa.num_assignments());
+  EXPECT_EQ(loaded->num_skills(), sa.num_skills());
+}
+
+TEST(SkillsIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadSkills("/no/such/skills.txt").ok());
+}
+
+}  // namespace
+}  // namespace tfsn

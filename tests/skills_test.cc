@@ -1,0 +1,153 @@
+#include "src/skills/skills.h"
+
+#include <gtest/gtest.h>
+
+#include "src/skills/skill_generator.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+namespace {
+
+SkillAssignment SmallAssignment() {
+  // user 0: {0, 2}; user 1: {1}; user 2: {0, 1, 2}; user 3: {}.
+  return std::move(SkillAssignment::Create({{0, 2}, {1}, {0, 1, 2}, {}}, 4))
+      .ValueOrDie();
+}
+
+TEST(SkillAssignmentTest, ForwardAndInvertedIndexAgree) {
+  SkillAssignment sa = SmallAssignment();
+  EXPECT_EQ(sa.num_users(), 4u);
+  EXPECT_EQ(sa.num_skills(), 4u);
+  EXPECT_EQ(sa.num_assignments(), 6u);
+  ASSERT_EQ(sa.SkillsOf(0).size(), 2u);
+  EXPECT_EQ(sa.SkillsOf(0)[0], 0u);
+  EXPECT_EQ(sa.SkillsOf(0)[1], 2u);
+  EXPECT_TRUE(sa.SkillsOf(3).empty());
+  auto holders0 = sa.Holders(0);
+  ASSERT_EQ(holders0.size(), 2u);
+  EXPECT_EQ(holders0[0], 0u);
+  EXPECT_EQ(holders0[1], 2u);
+  EXPECT_TRUE(sa.Holders(3).empty());
+  EXPECT_EQ(sa.Frequency(1), 2u);
+  EXPECT_EQ(sa.Frequency(3), 0u);
+}
+
+TEST(SkillAssignmentTest, HasSkill) {
+  SkillAssignment sa = SmallAssignment();
+  EXPECT_TRUE(sa.HasSkill(0, 2));
+  EXPECT_FALSE(sa.HasSkill(0, 1));
+  EXPECT_FALSE(sa.HasSkill(3, 0));
+}
+
+TEST(SkillAssignmentTest, DeduplicatesInput) {
+  auto sa = std::move(SkillAssignment::Create({{2, 2, 1, 1}}, 3)).ValueOrDie();
+  EXPECT_EQ(sa.num_assignments(), 2u);
+  EXPECT_EQ(sa.SkillsOf(0).size(), 2u);
+}
+
+TEST(SkillAssignmentTest, RejectsOutOfRangeSkill) {
+  EXPECT_FALSE(SkillAssignment::Create({{5}}, 3).ok());
+}
+
+TEST(SkillAssignmentTest, InfersNumSkills) {
+  auto sa = std::move(SkillAssignment::Create({{7}, {2}})).ValueOrDie();
+  EXPECT_EQ(sa.num_skills(), 8u);
+}
+
+TEST(TaskTest, SortsAndDeduplicates) {
+  Task t({3, 1, 3, 2});
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.Contains(1));
+  EXPECT_TRUE(t.Contains(3));
+  EXPECT_FALSE(t.Contains(0));
+}
+
+TEST(TaskTest, EmptyTask) {
+  Task t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.Contains(0));
+}
+
+TEST(SkillCoverageTest, TracksProgress) {
+  Task t({0, 1, 2});
+  SkillCoverage cov(t);
+  EXPECT_EQ(cov.remaining(), 3u);
+  EXPECT_FALSE(cov.AllCovered());
+  std::vector<SkillId> u0{0, 2};
+  EXPECT_EQ(cov.Cover(u0), 2u);
+  EXPECT_TRUE(cov.IsCovered(0));
+  EXPECT_FALSE(cov.IsCovered(1));
+  EXPECT_EQ(cov.Uncovered(), std::vector<SkillId>{1});
+  std::vector<SkillId> u1{1, 2};  // 2 already covered
+  EXPECT_EQ(cov.Cover(u1), 1u);
+  EXPECT_TRUE(cov.AllCovered());
+}
+
+TEST(SkillCoverageTest, IrrelevantSkillsIgnored) {
+  Task t({5});
+  SkillCoverage cov(t);
+  std::vector<SkillId> other{1, 2, 3};
+  EXPECT_EQ(cov.Cover(other), 0u);
+  EXPECT_EQ(cov.remaining(), 1u);
+}
+
+TEST(ZipfSkillsTest, EveryUserHasSkillWhenRequested) {
+  Rng rng(7);
+  ZipfSkillParams params;
+  params.num_skills = 50;
+  params.mean_skills_per_user = 0.2;  // sparse: guarantee matters
+  SkillAssignment sa = ZipfSkills(100, params, &rng);
+  for (uint32_t u = 0; u < sa.num_users(); ++u) {
+    EXPECT_GE(sa.SkillsOf(u).size(), 1u);
+  }
+}
+
+TEST(ZipfSkillsTest, FrequenciesRoughlyZipfOrdered) {
+  Rng rng(11);
+  ZipfSkillParams params;
+  params.num_skills = 100;
+  params.mean_skills_per_user = 5.0;
+  SkillAssignment sa = ZipfSkills(2000, params, &rng);
+  // Head skill must dominate deep-tail skills by a wide margin.
+  uint32_t tail_max = 0;
+  for (SkillId s = 50; s < 100; ++s) tail_max = std::max(tail_max, sa.Frequency(s));
+  EXPECT_GT(sa.Frequency(0), tail_max * 2);
+}
+
+TEST(ZipfSkillsTest, MeanSkillsApproximatelyRespected) {
+  Rng rng(13);
+  ZipfSkillParams params;
+  params.num_skills = 200;
+  params.mean_skills_per_user = 3.0;
+  params.every_user_has_skill = false;
+  SkillAssignment sa = ZipfSkills(5000, params, &rng);
+  double mean = static_cast<double>(sa.num_assignments()) / sa.num_users();
+  // Duplicates (same user drawing the same skill twice) shave the mean.
+  EXPECT_GT(mean, 2.0);
+  EXPECT_LE(mean, 3.0);
+}
+
+TEST(RandomTaskTest, RequestedSizeDistinctNonEmptySkills) {
+  Rng rng(17);
+  ZipfSkillParams params;
+  params.num_skills = 60;
+  SkillAssignment sa = ZipfSkills(300, params, &rng);
+  for (uint32_t k : {1u, 5u, 10u}) {
+    Task t = RandomTask(sa, k, &rng);
+    EXPECT_EQ(t.size(), k);
+    for (SkillId s : t.skills()) EXPECT_GT(sa.Frequency(s), 0u);
+  }
+}
+
+TEST(RandomTaskTest, BatchGeneration) {
+  Rng rng(19);
+  ZipfSkillParams params;
+  params.num_skills = 40;
+  SkillAssignment sa = ZipfSkills(200, params, &rng);
+  auto tasks = RandomTasks(sa, 4, 25, &rng);
+  EXPECT_EQ(tasks.size(), 25u);
+  for (const Task& t : tasks) EXPECT_EQ(t.size(), 4u);
+}
+
+}  // namespace
+}  // namespace tfsn

@@ -1,0 +1,151 @@
+// Tests for the threshold (fractional) compatibility oracle and the
+// parallel pair-statistics path.
+
+#include "src/compat/threshold.h"
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "src/compat/stats.h"
+#include "src/gen/generators.h"
+#include "src/graph/graph_builder.h"
+#include "src/util/parallel.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+namespace {
+
+TEST(ThresholdTest, ScoreOnHandGraph) {
+  // 0->1->3 (+,+) and 0->2->3 (-,+): one positive, one negative shortest
+  // path => score 0.5.
+  SignedGraphBuilder b(4);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 3, Sign::kPositive).CheckOK();
+  b.AddEdge(0, 2, Sign::kNegative).CheckOK();
+  b.AddEdge(2, 3, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  EXPECT_DOUBLE_EQ(PositivePathScore(g, 0, 3), 0.5);
+  EXPECT_DOUBLE_EQ(PositivePathScore(g, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PositivePathScore(g, 0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(PositivePathScore(g, 0, 0), 1.0);
+}
+
+TEST(ThresholdTest, MatchesNamedRelationsAtCanonicalThetas) {
+  Rng rng(31);
+  for (int trial = 0; trial < 5; ++trial) {
+    SignedGraph g = RandomConnectedGnm(30, 80, 0.35, &rng);
+    auto spa = MakeOracle(g, CompatKind::kSPA);
+    auto spm = MakeOracle(g, CompatKind::kSPM);
+    auto spo = MakeOracle(g, CompatKind::kSPO);
+    auto t_spa = MakeThresholdOracle(g, 1.0);
+    auto t_spm = MakeThresholdOracle(g, 0.5);
+    auto t_spo = MakeThresholdOracle(g, 0.0);
+    for (NodeId u = 0; u < g.num_nodes(); u += 3) {
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        EXPECT_EQ(t_spa->Compatible(u, v), spa->Compatible(u, v));
+        EXPECT_EQ(t_spm->Compatible(u, v), spm->Compatible(u, v));
+        EXPECT_EQ(t_spo->Compatible(u, v), spo->Compatible(u, v));
+      }
+    }
+  }
+}
+
+TEST(ThresholdTest, MonotoneInTheta) {
+  Rng rng(37);
+  SignedGraph g = RandomConnectedGnm(40, 120, 0.3, &rng);
+  auto loose = MakeThresholdOracle(g, 0.25);
+  auto tight = MakeThresholdOracle(g, 0.75);
+  for (NodeId u = 0; u < 10; ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      // Comp_0.75 ⊆ Comp_0.25.
+      EXPECT_LE(tight->Compatible(u, v), loose->Compatible(u, v));
+    }
+  }
+}
+
+TEST(ThresholdTest, AxiomsHoldForIntermediateTheta) {
+  Rng rng(41);
+  SignedGraph g = RandomConnectedGnm(30, 70, 0.4, &rng);
+  for (double theta : {0.0, 0.3, 0.8, 1.0}) {
+    auto oracle = MakeThresholdOracle(g, theta);
+    for (const SignedEdge& e : g.Edges()) {
+      if (e.sign == Sign::kPositive) {
+        EXPECT_TRUE(oracle->Compatible(e.u, e.v)) << "theta=" << theta;
+      } else {
+        EXPECT_FALSE(oracle->Compatible(e.u, e.v)) << "theta=" << theta;
+      }
+    }
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      EXPECT_TRUE(oracle->Compatible(u, u));
+    }
+  }
+}
+
+TEST(ThresholdTest, ThetaClamped) {
+  Rng rng(43);
+  SignedGraph g = RandomConnectedGnm(20, 40, 0.2, &rng);
+  auto below = MakeThresholdOracle(g, -3.0);
+  auto above = MakeThresholdOracle(g, 7.0);
+  auto spo = MakeOracle(g, CompatKind::kSPO);
+  auto spa = MakeOracle(g, CompatKind::kSPA);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(below->Compatible(0, v), spo->Compatible(0, v));
+    EXPECT_EQ(above->Compatible(0, v), spa->Compatible(0, v));
+  }
+}
+
+TEST(ParallelStatsTest, MatchesSerialExactly) {
+  Rng rng(47);
+  SignedGraph g = RandomConnectedGnm(120, 400, 0.3, &rng);
+  for (CompatKind kind :
+       {CompatKind::kSPA, CompatKind::kSPM, CompatKind::kSBPH,
+        CompatKind::kNNE}) {
+    auto oracle = MakeOracle(g, kind);
+    Rng serial_rng(5);
+    CompatPairStats serial = ComputeCompatPairStats(oracle.get(), 0, &serial_rng);
+    CompatPairStats parallel = ComputeCompatPairStatsParallel(
+        g, kind, OracleParams{}, 0, /*seed=*/5, /*threads=*/4);
+    EXPECT_EQ(serial.pairs_seen, parallel.pairs_seen) << CompatKindName(kind);
+    EXPECT_EQ(serial.pairs_compatible, parallel.pairs_compatible);
+    EXPECT_DOUBLE_EQ(serial.compatible_fraction, parallel.compatible_fraction);
+    EXPECT_NEAR(serial.avg_distance, parallel.avg_distance, 1e-9);
+  }
+}
+
+TEST(ParallelStatsTest, SampledSourcesSameSeedSameResult) {
+  Rng rng(53);
+  SignedGraph g = RandomConnectedGnm(150, 500, 0.25, &rng);
+  CompatPairStats a = ComputeCompatPairStatsParallel(
+      g, CompatKind::kSPM, OracleParams{}, 40, /*seed=*/11, /*threads=*/3);
+  CompatPairStats b = ComputeCompatPairStatsParallel(
+      g, CompatKind::kSPM, OracleParams{}, 40, /*seed=*/11, /*threads=*/7);
+  EXPECT_EQ(a.pairs_compatible, b.pairs_compatible);
+  EXPECT_EQ(a.sources_used, 40u);
+}
+
+TEST(ParallelForTest, CoversRangeOnce) {
+  std::vector<std::atomic<int>>* hits = nullptr;
+  std::vector<std::atomic<int>> storage(1000);
+  hits = &storage;
+  ParallelFor(1000, 8, [hits](uint32_t, uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) (*hits)[i].fetch_add(1);
+  });
+  for (const auto& h : storage) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroAndOneElement) {
+  int calls = 0;
+  ParallelFor(0, 4, [&](uint32_t, uint64_t begin, uint64_t end) {
+    calls += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> one{0};
+  ParallelFor(1, 4, [&one](uint32_t, uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) one.fetch_add(1);
+  });
+  EXPECT_EQ(one.load(), 1);
+}
+
+}  // namespace
+}  // namespace tfsn

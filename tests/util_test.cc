@@ -1,0 +1,207 @@
+// Tests for the utility layer: Status/Result, Flags, TextTable.
+
+#include <gtest/gtest.h>
+
+#include "src/util/flags.h"
+#include "src/util/result.h"
+#include "src/util/status.h"
+#include "src/util/table.h"
+
+namespace tfsn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, FactoriesAndPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Infeasible("x").IsInfeasible());
+  EXPECT_FALSE(Status::IOError("x").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status st = Status::NotFound("missing widget");
+  EXPECT_EQ(st.ToString(), "NotFound: missing widget");
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status st = Status::IOError("disk");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsIOError());
+  EXPECT_EQ(copy.message(), "disk");
+  EXPECT_TRUE(st.IsIOError());  // source untouched by copy
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsIOError());
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    TFSN_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsInternal());
+  auto succeeds = []() -> Status { return Status::OK(); };
+  auto wrapper2 = [&]() -> Status {
+    TFSN_RETURN_NOT_OK(succeeds());
+    return Status::AlreadyExists("end");
+  };
+  EXPECT_TRUE(wrapper2().IsAlreadyExists());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r{Status::OK()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).ValueOrDie();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto make = [](bool ok) -> Result<int> {
+    if (ok) return 5;
+    return Status::OutOfRange("bad");
+  };
+  auto use = [&](bool ok) -> Status {
+    TFSN_ASSIGN_OR_RETURN(int v, make(ok));
+    return v == 5 ? Status::OK() : Status::Internal("wrong value");
+  };
+  EXPECT_TRUE(use(true).ok());
+  EXPECT_TRUE(use(false).IsOutOfRange());
+}
+
+// ---------------------------------------------------------------------------
+// Flags
+// ---------------------------------------------------------------------------
+
+Flags MakeFlags(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  static std::vector<char*> ptrs;
+  ptrs.clear();
+  ptrs.push_back(const_cast<char*>("prog"));
+  for (auto& a : storage) ptrs.push_back(a.data());
+  return Flags(static_cast<int>(ptrs.size()), ptrs.data());
+}
+
+TEST(FlagsTest, EqualsForm) {
+  Flags f = MakeFlags({"--name=value", "--num=42", "--ratio=0.5"});
+  EXPECT_EQ(f.GetString("name"), "value");
+  EXPECT_EQ(f.GetInt("num", 0), 42);
+  EXPECT_DOUBLE_EQ(f.GetDouble("ratio", 0), 0.5);
+}
+
+TEST(FlagsTest, SpaceSeparatedForm) {
+  Flags f = MakeFlags({"--name", "value", "--num", "7"});
+  EXPECT_EQ(f.GetString("name"), "value");
+  EXPECT_EQ(f.GetInt("num", 0), 7);
+}
+
+TEST(FlagsTest, BareBooleans) {
+  Flags f = MakeFlags({"--verbose", "--quiet=false", "--zero=0"});
+  EXPECT_TRUE(f.GetBool("verbose"));
+  EXPECT_FALSE(f.GetBool("quiet", true));
+  EXPECT_FALSE(f.GetBool("zero", true));
+  EXPECT_TRUE(f.GetBool("missing", true));
+  EXPECT_FALSE(f.GetBool("missing", false));
+}
+
+TEST(FlagsTest, DefaultsAndHas) {
+  Flags f = MakeFlags({"--present=1"});
+  EXPECT_TRUE(f.Has("present"));
+  EXPECT_FALSE(f.Has("absent"));
+  EXPECT_EQ(f.GetString("absent", "dflt"), "dflt");
+  EXPECT_EQ(f.GetInt("absent", -3), -3);
+}
+
+TEST(FlagsTest, PassthroughPositional) {
+  Flags f = MakeFlags({"team", "--k=5", "extra"});
+  ASSERT_EQ(f.passthrough().size(), 2u);
+  EXPECT_EQ(f.passthrough()[0], "team");
+  EXPECT_EQ(f.passthrough()[1], "extra");
+  EXPECT_EQ(f.GetInt("k", 0), 5);
+}
+
+// ---------------------------------------------------------------------------
+// TextTable
+// ---------------------------------------------------------------------------
+
+TEST(TextTableTest, AlignedOutput) {
+  TextTable t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  std::string s = t.ToString();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"x"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| x |   |   |"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvEscaping) {
+  TextTable t({"k", "v"});
+  t.AddRow({"plain", "with,comma"});
+  t.AddRow({"quote\"inside", "line\nbreak"});
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+  EXPECT_NE(csv.find("plain"), std::string::npos);
+}
+
+TEST(TextTableTest, Formatters) {
+  EXPECT_EQ(TextTable::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Fmt(2.0, 0), "2");
+  EXPECT_EQ(TextTable::Pct(0.4567, 1), "45.7");
+}
+
+TEST(TextTableTest, RowCount) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace tfsn
