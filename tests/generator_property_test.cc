@@ -2,8 +2,16 @@
 // chain must hold on every graph family the generators produce — uniform
 // G(n,m), preferential attachment, small-world, and planted partitions —
 // not just the uniform graphs the per-module suites use.
+//
+// Graph sizes default to small-but-connected so the fast test tier stays
+// fast; the `slow`-labeled CTest registration re-runs this binary with
+// TFSN_SWEEP_NODES/TFSN_SWEEP_EDGES set to the paper-scale sizes.
 
 #include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
 
 #include "src/compat/compatibility.h"
 #include "src/gen/generators.h"
@@ -12,6 +20,32 @@
 
 namespace tfsn {
 namespace {
+
+uint32_t SizeFromEnv(const char* var, uint32_t fallback) {
+  const char* s = std::getenv(var);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  // strtoull accepts a leading '-' (wrapping to a huge value), so reject
+  // any sign explicitly; also bound to uint32_t to avoid truncation.
+  if (s[0] == '-' || s[0] == '+' || end == s || *end != '\0' || v == 0 ||
+      v > std::numeric_limits<uint32_t>::max()) {
+    ADD_FAILURE() << var << "=\"" << s << "\" is not a positive 32-bit "
+                  << "integer; using default " << fallback;
+    return fallback;
+  }
+  return static_cast<uint32_t>(v);
+}
+
+uint32_t SweepNodes() {
+  static const uint32_t n = SizeFromEnv("TFSN_SWEEP_NODES", 24);
+  return n;
+}
+
+uint64_t SweepEdges() {
+  static const uint64_t m = SizeFromEnv("TFSN_SWEEP_EDGES", 56);
+  return m;
+}
 
 enum class Family { kGnm, kPreferential, kSmallWorld, kPlanted };
 
@@ -26,19 +60,21 @@ const char* FamilyName(Family f) {
 }
 
 SignedGraph MakeFamily(Family f, uint64_t seed) {
+  const uint32_t n = SweepNodes();
+  const uint64_t m = SweepEdges();
   Rng rng(seed);
   switch (f) {
     case Family::kGnm:
-      return RandomConnectedGnm(40, 100, 0.3, &rng);
+      return RandomConnectedGnm(n, m, 0.3, &rng);
     case Family::kPreferential:
-      return RandomPreferentialAttachment(40, 100, 0.3, &rng);
+      return RandomPreferentialAttachment(n, m, 0.3, &rng);
     case Family::kSmallWorld:
-      return SmallWorldSigned(40, 4, 0.2, 0.3, &rng);
+      return SmallWorldSigned(n, 4, 0.2, 0.3, &rng);
     case Family::kPlanted:
-      return PlantedPartitionSigned(40, 100, 0.15, &rng);
+      return PlantedPartitionSigned(n, m, 0.15, &rng);
   }
   Rng fallback(seed);
-  return RandomConnectedGnm(40, 100, 0.3, &fallback);
+  return RandomConnectedGnm(n, m, 0.3, &fallback);
 }
 
 struct SweepCase {
@@ -50,8 +86,8 @@ class GeneratorFamilyTest : public testing::TestWithParam<SweepCase> {};
 
 TEST_P(GeneratorFamilyTest, GraphIsWellFormed) {
   SignedGraph g = MakeFamily(GetParam().family, GetParam().seed);
-  EXPECT_EQ(g.num_nodes(), 40u);
-  EXPECT_GE(g.num_edges(), 39u);
+  EXPECT_EQ(g.num_nodes(), SweepNodes());
+  EXPECT_GE(g.num_edges(), SweepNodes() - 1u);
   EXPECT_TRUE(IsConnected(g));
   // Adjacency symmetric with consistent signs.
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
