@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,24 @@ inline std::vector<Dataset> LoadDatasets(const Flags& flags,
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Parses --threads as a comma-separated list of worker counts (a sweep);
+/// malformed or empty entries fall back to {1} with a warning rather than
+/// throwing out of main.
+inline std::vector<uint32_t> ThreadSweepOf(const Flags& flags) {
+  std::vector<uint32_t> counts;
+  for (const std::string& tok : SplitCsv(flags.GetString("threads", "1"))) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0' || v > 1024) {
+      std::fprintf(stderr, "ignoring bad --threads entry '%s'\n", tok.c_str());
+      continue;
+    }
+    counts.push_back(static_cast<uint32_t>(v));
+  }
+  if (counts.empty()) counts.push_back(1);
+  return counts;
 }
 
 }  // namespace tfsn::bench

@@ -6,6 +6,11 @@
 //                    [--relation=spm] [--algorithm=lcmd|lcmc|random] [--topk=3]
 //   tfsn_cli export  --dataset=wikipedia --out=wiki.edges --skills_out=wiki.skills
 //
+// Global performance flags: --threads=N computes oracle rows (and the
+// stats diameter sweep) on N workers sharing one row cache (0 = hardware
+// concurrency / TFSN_THREADS); --cache-mb=M bounds that cache's byte
+// budget (default 256).
+//
 // Exit codes: 0 success, 1 usage error, 2 no team found.
 
 #include <cstdio>
@@ -40,7 +45,9 @@ int Usage() {
                "  team --skills=1,2,3        form a team [--relation=spm]\n"
                "       [--algorithm=lcmd]    lcmd|lcmc|random\n"
                "       [--topk=K]            emit the K best teams\n"
-               "  export --out=F             write graph [--skills_out=G]\n");
+               "  export --out=F             write graph [--skills_out=G]\n"
+               "global: --threads=N row-computation workers (0 = auto)\n"
+               "        --cache-mb=M shared row-cache budget (default 256)\n");
   return 1;
 }
 
@@ -60,6 +67,20 @@ Dataset LoadInput(const Flags& flags) {
   return std::move(ds).ValueOrDie();
 }
 
+uint32_t ThreadsOf(const Flags& flags) {
+  return static_cast<uint32_t>(flags.GetInt("threads", 1));
+}
+
+std::shared_ptr<RowCache> CacheOf(const Flags& flags) {
+  RowCacheOptions options;
+  // Accept both spellings so the CLI and the benches share one knob name.
+  options.max_bytes =
+      static_cast<size_t>(flags.Has("cache_mb") ? flags.GetInt("cache_mb", 256)
+                                                : flags.GetInt("cache-mb", 256))
+      << 20;
+  return std::make_shared<RowCache>(options);
+}
+
 CompatKind RelationOf(const Flags& flags) {
   CompatKind kind = CompatKind::kSPM;
   std::string name = flags.GetString("relation", "spm");
@@ -72,7 +93,7 @@ CompatKind RelationOf(const Flags& flags) {
 
 int CmdStats(const Flags& flags) {
   Dataset ds = LoadInput(flags);
-  Table1Row row = ComputeTable1Row(ds, 2000, 1);
+  Table1Row row = ComputeTable1Row(ds, 2000, 1, ThreadsOf(flags));
   std::printf("dataset   : %s\n", row.dataset.c_str());
   std::printf("users     : %u\n", row.users);
   std::printf("edges     : %llu (%llu negative, %.1f%%)\n",
@@ -127,12 +148,16 @@ int CmdTeam(const Flags& flags) {
   }
   Task task(wanted);
   CompatKind kind = RelationOf(flags);
-  auto oracle = MakeOracle(ds.graph, kind);
+  const uint32_t threads = ThreadsOf(flags);
+  // One shared row cache serves the index build, the greedy prefetch, and
+  // the per-pair queries of the formation run.
+  auto oracle = MakeOracle(ds.graph, kind, OracleParams{}, CacheOf(flags));
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 7)));
   SkillCompatibilityIndex index(
       oracle.get(), ds.skills,
-      ds.graph.num_nodes() > 2000 ? 300 : 0, &rng);
+      ds.graph.num_nodes() > 2000 ? 300 : 0, &rng, threads);
   GreedyParams params;
+  params.prefetch_threads = threads == 1 ? 0 : ResolveThreads(threads);
   std::string algorithm = flags.GetString("algorithm", "lcmd");
   if (algorithm == "lcmc") {
     params.user_policy = UserPolicy::kMostCompatible;

@@ -1,252 +1,191 @@
 #include "src/compat/compatibility.h"
 
 #include <algorithm>
-#include <cctype>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
 
-#include "src/compat/signed_bfs.h"
-#include "src/graph/bfs.h"
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 
 namespace tfsn {
 
-const char* CompatKindName(CompatKind kind) {
-  switch (kind) {
-    case CompatKind::kDPE: return "DPE";
-    case CompatKind::kSPA: return "SPA";
-    case CompatKind::kSPM: return "SPM";
-    case CompatKind::kSPO: return "SPO";
-    case CompatKind::kSBPH: return "SBPH";
-    case CompatKind::kSBP: return "SBP";
-    case CompatKind::kNNE: return "NNE";
-  }
-  return "?";
-}
+namespace {
 
-bool ParseCompatKind(const std::string& name, CompatKind* out) {
-  std::string upper;
-  for (char c : name) upper += static_cast<char>(std::toupper(c));
-  for (CompatKind kind : AllCompatKinds()) {
-    if (upper == CompatKindName(kind)) {
-      *out = kind;
-      return true;
+// FNV-1a over the configuration so that oracles with different relations,
+// kernels, parameters, or graphs can share one RowCache without key
+// collisions (the fingerprint fills the high 32 bits of every key).
+class ConfigHash {
+ public:
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (i * 8)) & 0xff;
+      h_ *= 0x100000001b3ull;
     }
   }
-  return false;
+  uint64_t KeyBase() const { return (h_ >> 32) << 32; }
+
+ private:
+  uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+uint64_t MakeKeyBase(const SignedGraph* g, CompatKind kind, RowKernelFn kernel,
+                     const RowKernelParams& p) {
+  ConfigHash h;
+  h.Mix(reinterpret_cast<uintptr_t>(g));
+  h.Mix(static_cast<uint64_t>(kind));
+  h.Mix(reinterpret_cast<uintptr_t>(kernel));
+  h.Mix(p.sbp.max_depth);
+  h.Mix(p.sbp.expansion_budget);
+  h.Mix(p.sbph_max_depth);
+  uint64_t theta_bits;
+  static_assert(sizeof(theta_bits) == sizeof(p.threshold_theta));
+  std::memcpy(&theta_bits, &p.threshold_theta, sizeof(theta_bits));
+  h.Mix(theta_bits);
+  return h.KeyBase();
 }
 
-std::vector<CompatKind> AllCompatKinds() {
-  return {CompatKind::kDPE,  CompatKind::kSPA, CompatKind::kSPM,
-          CompatKind::kSPO,  CompatKind::kSBPH, CompatKind::kSBP,
-          CompatKind::kNNE};
+std::shared_ptr<RowCache> PrivateCache(const OracleParams& params) {
+  RowCacheOptions options;
+  options.max_rows = params.max_cached_rows;
+  options.max_bytes = params.cache_bytes;
+  options.shards = 1;  // exact row-count semantics, no striping overhead
+  return std::make_shared<RowCache>(options);
 }
 
-// ---------------------------------------------------------------------------
-// Base class: row cache
-// ---------------------------------------------------------------------------
+RowKernelParams KernelParamsOf(const OracleParams& params) {
+  RowKernelParams kp;
+  kp.sbp = params.sbp;
+  kp.sbph_max_depth = params.sbph_max_depth;
+  return kp;
+}
+
+}  // namespace
+
+CompatibilityOracle::CompatibilityOracle(const SignedGraph& g, CompatKind kind,
+                                         OracleParams params,
+                                         std::shared_ptr<RowCache> cache)
+    : CompatibilityOracle(g, kind, KernelForKind(kind), KernelParamsOf(params),
+                          params, std::move(cache)) {}
+
+CompatibilityOracle::CompatibilityOracle(const SignedGraph& g,
+                                         CompatKind display_kind,
+                                         RowKernelFn kernel,
+                                         RowKernelParams kernel_params,
+                                         OracleParams params,
+                                         std::shared_ptr<RowCache> cache)
+    : graph_(&g),
+      kind_(display_kind),
+      kernel_(kernel),
+      kernel_params_(kernel_params),
+      cache_(cache != nullptr ? std::move(cache) : PrivateCache(params)),
+      key_base_(MakeKeyBase(&g, display_kind, kernel, kernel_params_)) {
+  TFSN_CHECK(kernel_ != nullptr);
+}
+
+std::shared_ptr<const CompatibilityOracle::Row> CompatibilityOracle::FetchRow(
+    NodeId q) {
+  const uint64_t key = KeyFor(q);
+  if (auto row = cache_->Get(key)) {
+    // Fail fast on the one fingerprint hazard: a cache reused across graph
+    // lifetimes where a dead graph's address was recycled (keys embed the
+    // graph by address). Wrong-sized rows would otherwise read OOB.
+    TFSN_CHECK_EQ(row->comp.size(), graph_->num_nodes());
+    return row;
+  }
+  rows_computed_.fetch_add(1, std::memory_order_relaxed);
+  return cache_->Insert(key, kernel_(*graph_, kernel_params_, q));
+}
+
+const CompatibilityOracle::Row& CompatibilityOracle::GetRow(NodeId q) {
+  std::shared_ptr<const Row> row = FetchRow(q);
+  const Row& ref = *row;
+  // Pin so the returned reference survives eviction by concurrent sharers
+  // (and the next kPinnedRows - 1 GetRow calls on this oracle).
+  pins_[pin_cursor_] = std::move(row);
+  pin_cursor_ = (pin_cursor_ + 1) % kPinnedRows;
+  return ref;
+}
+
+std::shared_ptr<const CompatibilityOracle::Row>
+CompatibilityOracle::GetRowShared(NodeId q) {
+  return FetchRow(q);
+}
 
 bool CompatibilityOracle::Compatible(NodeId u, NodeId v) {
   if (u == v) return true;
-  return GetRow(u).comp[v] != 0;
+  if (kind_ == CompatKind::kSBPH) {
+    // Symmetric closure of the direction-dependent heuristic search.
+    if (FetchRow(u)->comp[v] != 0) return true;
+    return FetchRow(v)->comp[u] != 0;
+  }
+  return FetchRow(u)->comp[v] != 0;
 }
 
 uint32_t CompatibilityOracle::Distance(NodeId u, NodeId v) {
   if (u == v) return 0;
-  return GetRow(u).dist[v];
+  if (kind_ == CompatKind::kSBPH) {
+    return std::min(FetchRow(u)->dist[v], FetchRow(v)->dist[u]);
+  }
+  return FetchRow(u)->dist[v];
 }
 
-const CompatibilityOracle::Row& CompatibilityOracle::GetRow(NodeId q) {
-  if (cache_index_.empty()) {
-    cache_index_.assign(graph_->num_nodes(), -1);
+std::vector<std::shared_ptr<const CompatibilityOracle::Row>>
+CompatibilityOracle::GetRows(std::span<const NodeId> sources,
+                             uint32_t threads) {
+  std::vector<std::shared_ptr<const Row>> out(sources.size());
+  std::vector<size_t> missed;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    out[i] = cache_->Get(KeyFor(sources[i]));
+    if (out[i] == nullptr) {
+      missed.push_back(i);
+    } else {
+      TFSN_CHECK_EQ(out[i]->comp.size(), graph_->num_nodes());
+    }
   }
-  int32_t slot = cache_index_[q];
-  if (slot >= 0) return *cache_slots_[static_cast<size_t>(slot)].second;
+  if (missed.empty()) return out;
 
-  ++rows_computed_;
-  auto row = std::make_unique<Row>(ComputeRow(q));
-  // Normalize reflexivity.
-  row->comp[q] = 1;
-  row->dist[q] = 0;
-
-  if (cache_slots_.size() < max_cached_rows_) {
-    cache_index_[q] = static_cast<int32_t>(cache_slots_.size());
-    cache_slots_.emplace_back(q, std::move(row));
-    return *cache_slots_.back().second;
+  // Compute each distinct missing source exactly once.
+  std::unordered_map<NodeId, size_t> first_index;
+  std::vector<size_t> work;
+  for (size_t i : missed) {
+    if (first_index.try_emplace(sources[i], i).second) work.push_back(i);
   }
-  // FIFO eviction over a fixed-size slot array.
-  size_t victim = eviction_cursor_;
-  eviction_cursor_ = (eviction_cursor_ + 1) % cache_slots_.size();
-  cache_index_[cache_slots_[victim].first] = -1;
-  cache_slots_[victim] = {q, std::move(row)};
-  cache_index_[q] = static_cast<int32_t>(victim);
-  return *cache_slots_[victim].second;
+  // Dynamic scheduling: per-row cost varies (SBP rows are far heavier than
+  // plain BFS rows), and the kernels are pure, so workers only contend on
+  // cache shard mutexes.
+  ParallelForEach(work.size(), ResolveThreads(threads), [&](uint64_t w) {
+    const size_t i = work[w];
+    const NodeId q = sources[i];
+    const uint64_t key = KeyFor(q);
+    // Re-probe (uncounted: the probe pass recorded the miss) in case a
+    // concurrent sharer published the row since.
+    std::shared_ptr<const Row> row = cache_->Get(key, /*count_miss=*/false);
+    if (row == nullptr) {
+      rows_computed_.fetch_add(1, std::memory_order_relaxed);
+      row = cache_->Insert(key, kernel_(*graph_, kernel_params_, q));
+    }
+    out[i] = std::move(row);
+  });
+  // Duplicated sources share the row computed for their first occurrence
+  // (re-probing the cache could miss again under eviction pressure).
+  for (size_t i : missed) {
+    if (out[i] == nullptr) out[i] = out[first_index.at(sources[i])];
+  }
+  return out;
 }
-
-// ---------------------------------------------------------------------------
-// Concrete oracles
-// ---------------------------------------------------------------------------
-
-namespace {
-
-/// DPE: compatible iff a direct positive edge. Distance = hop distance.
-class DpeOracle final : public CompatibilityOracle {
- public:
-  DpeOracle(const SignedGraph& g, const OracleParams& p)
-      : CompatibilityOracle(g, p.max_cached_rows) {}
-  CompatKind kind() const override { return CompatKind::kDPE; }
-
- protected:
-  Row ComputeRow(NodeId q) override {
-    Row row;
-    row.dist = BfsDistances(graph(), q);
-    row.comp.assign(graph().num_nodes(), 0);
-    for (const Neighbor& nb : graph().Neighbors(q)) {
-      if (nb.sign == Sign::kPositive) row.comp[nb.to] = 1;
-    }
-    return row;
-  }
-};
-
-/// NNE: compatible iff no direct negative edge. Distance = hop distance.
-class NneOracle final : public CompatibilityOracle {
- public:
-  NneOracle(const SignedGraph& g, const OracleParams& p)
-      : CompatibilityOracle(g, p.max_cached_rows) {}
-  CompatKind kind() const override { return CompatKind::kNNE; }
-
- protected:
-  Row ComputeRow(NodeId q) override {
-    Row row;
-    row.dist = BfsDistances(graph(), q);
-    row.comp.assign(graph().num_nodes(), 1);
-    for (const Neighbor& nb : graph().Neighbors(q)) {
-      if (nb.sign == Sign::kNegative) row.comp[nb.to] = 0;
-    }
-    return row;
-  }
-};
-
-/// SPA / SPM / SPO: derived from Algorithm 1 counts.
-class SpOracle final : public CompatibilityOracle {
- public:
-  SpOracle(const SignedGraph& g, CompatKind kind, const OracleParams& p)
-      : CompatibilityOracle(g, p.max_cached_rows), kind_(kind) {}
-  CompatKind kind() const override { return kind_; }
-
- protected:
-  Row ComputeRow(NodeId q) override {
-    SignedBfsResult r = SignedShortestPathCount(graph(), q);
-    Row row;
-    row.dist = std::move(r.dist);
-    row.comp.assign(graph().num_nodes(), 0);
-    for (NodeId x = 0; x < graph().num_nodes(); ++x) {
-      if (row.dist[x] == kUnreachable) continue;
-      switch (kind_) {
-        case CompatKind::kSPA:
-          row.comp[x] = r.num_pos[x] > 0 && r.num_neg[x] == 0;
-          break;
-        case CompatKind::kSPM:
-          row.comp[x] = r.num_pos[x] >= r.num_neg[x];
-          break;
-        case CompatKind::kSPO:
-          row.comp[x] = r.num_pos[x] > 0;
-          break;
-        default:
-          TFSN_CHECK(false);
-      }
-    }
-    return row;
-  }
-
- private:
-  CompatKind kind_;
-};
-
-/// SBPH: heuristic balanced-path search. Distance = shortest balanced
-/// positive path found by the heuristic.
-class SbphOracle final : public CompatibilityOracle {
- public:
-  SbphOracle(const SignedGraph& g, const OracleParams& p)
-      : CompatibilityOracle(g, p.max_cached_rows),
-        max_depth_(p.sbph_max_depth) {}
-  CompatKind kind() const override { return CompatKind::kSBPH; }
-
- protected:
-  Row ComputeRow(NodeId q) override {
-    SbphResult r = SbphFromSource(graph(), q, max_depth_);
-    Row row;
-    row.dist = std::move(r.pos_dist);
-    row.comp.assign(graph().num_nodes(), 0);
-    for (NodeId x = 0; x < graph().num_nodes(); ++x) {
-      row.comp[x] = row.dist[x] != kUnreachable;
-    }
-    return row;
-  }
-
- public:
-  // The heuristic search is direction-dependent; the relation is defined as
-  // the symmetric closure so that the Comp axioms of Section 2 hold.
-  bool Compatible(NodeId u, NodeId v) override {
-    if (u == v) return true;
-    return GetRow(u).comp[v] != 0 || GetRow(v).comp[u] != 0;
-  }
-  uint32_t Distance(NodeId u, NodeId v) override {
-    if (u == v) return 0;
-    return std::min(GetRow(u).dist[v], GetRow(v).dist[u]);
-  }
-
- private:
-  uint32_t max_depth_;
-};
-
-/// SBP: exact engine, one iterative-deepening search per target.
-class SbpOracle final : public CompatibilityOracle {
- public:
-  SbpOracle(const SignedGraph& g, const OracleParams& p)
-      : CompatibilityOracle(g, p.max_cached_rows), search_(g, p.sbp) {}
-  CompatKind kind() const override { return CompatKind::kSBP; }
-
- protected:
-  Row ComputeRow(NodeId q) override {
-    Row row;
-    const uint32_t n = graph().num_nodes();
-    row.comp.assign(n, 0);
-    row.dist.assign(n, kUnreachable);
-    for (NodeId x = 0; x < n; ++x) {
-      if (x == q) continue;
-      SbpPairResult r = search_.ShortestBalancedPath(q, x, Sign::kPositive);
-      if (r.length) {
-        row.comp[x] = 1;
-        row.dist[x] = *r.length;
-      }
-    }
-    return row;
-  }
-
- private:
-  SbpExactSearch search_;
-};
-
-}  // namespace
 
 std::unique_ptr<CompatibilityOracle> MakeOracle(const SignedGraph& g,
                                                 CompatKind kind,
                                                 OracleParams params) {
-  switch (kind) {
-    case CompatKind::kDPE:
-      return std::make_unique<DpeOracle>(g, params);
-    case CompatKind::kNNE:
-      return std::make_unique<NneOracle>(g, params);
-    case CompatKind::kSPA:
-    case CompatKind::kSPM:
-    case CompatKind::kSPO:
-      return std::make_unique<SpOracle>(g, kind, params);
-    case CompatKind::kSBPH:
-      return std::make_unique<SbphOracle>(g, params);
-    case CompatKind::kSBP:
-      return std::make_unique<SbpOracle>(g, params);
-  }
-  TFSN_CHECK(false);
-  return nullptr;
+  return std::make_unique<CompatibilityOracle>(g, kind, params, nullptr);
+}
+
+std::unique_ptr<CompatibilityOracle> MakeOracle(
+    const SignedGraph& g, CompatKind kind, OracleParams params,
+    std::shared_ptr<RowCache> cache) {
+  return std::make_unique<CompatibilityOracle>(g, kind, params,
+                                               std::move(cache));
 }
 
 }  // namespace tfsn

@@ -1,18 +1,15 @@
-// The compatibility relations of the paper (Section 3) behind one interface.
+// The compatibility relations of the paper (Section 3) behind one
+// interface. See row_kernels.h for the relation definitions and the
+// Proposition 3.5 inclusion chain; see row_cache.h for the shared cache.
 //
-//   DPE  — direct positive edge            (Definition 3.1, strictest)
-//   SPA  — all shortest paths positive     (Definition 3.3)
-//   SPM  — majority of shortest paths positive
-//   SPO  — at least one positive shortest path
-//   SBPH — heuristic structurally-balanced-path compatibility
-//   SBP  — exact structurally-balanced-path compatibility (Definition 3.4)
-//   NNE  — no direct negative edge         (Definition 3.2, most relaxed)
-//
-// Proposition 3.5: DPE ⊆ SPA ⊆ SPM ⊆ SPO ⊆ SBP ⊆ NNE (and SBPH ⊆ SBP).
-//
-// Every relation satisfies the two axioms of Section 2: positive-edge
-// compatibility and negative-edge incompatibility, plus reflexivity and
-// symmetry.
+// Architecture (three layers):
+//   row_kernels — pure, stateless ComputeRow functions, one per relation.
+//   RowCache    — thread-safe sharded LRU cache of computed rows, shareable
+//                 across oracles and worker threads.
+//   CompatibilityOracle (this header) — a thin façade binding (graph,
+//                 relation, params) to a cache, with the paper's pair
+//                 semantics (reflexivity, SBPH symmetric closure) and a
+//                 batched multi-source API.
 //
 // Distance semantics (paper Section 4): DPE/SPA/SPM/SPO use the shortest
 // path length (for compatible pairs a positive shortest path of that length
@@ -21,43 +18,27 @@
 
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <string>
+#include <span>
 #include <vector>
 
+#include "src/compat/row_cache.h"
+#include "src/compat/row_kernels.h"
 #include "src/compat/sbp.h"
 #include "src/graph/signed_graph.h"
 
 namespace tfsn {
 
-/// Which compatibility relation an oracle implements.
-enum class CompatKind : uint8_t {
-  kDPE,
-  kSPA,
-  kSPM,
-  kSPO,
-  kSBPH,
-  kSBP,
-  kNNE,
-};
-
-/// Stable display name ("SPA", "SBPH", ...).
-const char* CompatKindName(CompatKind kind);
-
-/// Parses a name as produced by CompatKindName (case-insensitive).
-/// Returns false for unknown names.
-bool ParseCompatKind(const std::string& name, CompatKind* out);
-
-/// All kinds in relaxation order (DPE strictest ... NNE most relaxed,
-/// with SBPH just before SBP).
-std::vector<CompatKind> AllCompatKinds();
-
-/// Tuning knobs shared by the oracle implementations.
+/// Tuning knobs for an oracle and its (private) cache.
 struct OracleParams {
-  /// Per-source rows kept in the cache (FIFO eviction). A row costs
-  /// ~5 bytes per graph node.
+  /// Row-count cap for the oracle's private cache (LRU eviction). Ignored
+  /// when a shared RowCache is supplied. A row costs ~5 bytes per node.
   size_t max_cached_rows = 2048;
+  /// Optional byte budget for the private cache (0 = row cap only).
+  size_t cache_bytes = 0;
   /// Exact-SBP engine tuning (kSBP only).
   SbpExactParams sbp;
   /// Depth bound for the SBPH search (kSBPH only).
@@ -66,66 +47,111 @@ struct OracleParams {
 
 /// Query interface over one compatibility relation on one graph.
 ///
-/// Implementations compute per-source "rows" (compatibility flag and
-/// distance to every node) lazily and cache them, so asking many queries
-/// from the same source is cheap. Not thread-safe.
+/// A façade over the stateless row kernels and a RowCache: rows are
+/// computed on demand, cached, and shared. One oracle instance is NOT
+/// thread-safe (GetRow pins rows into instance-local state), but any
+/// number of oracles — one per worker thread — may share one RowCache over
+/// the same graph; GetRows additionally parallelizes miss computation
+/// internally.
 class CompatibilityOracle {
  public:
-  /// A per-source result: flags and distances from a fixed query node to
-  /// every node in the graph.
-  struct Row {
-    /// comp[x] != 0 iff (source, x) is in the relation.
-    std::vector<uint8_t> comp;
-    /// Relation-specific distance (see file header); kUnreachable possible.
-    std::vector<uint32_t> dist;
-  };
+  /// Per-source row type (see row_kernels.h).
+  using Row = CompatRow;
 
-  virtual ~CompatibilityOracle() = default;
+  /// Oracle for `kind` over `g`, optionally sharing `cache` with other
+  /// oracles (pass nullptr for a private cache sized by `params`). The
+  /// graph and the shared cache must outlive the oracle. Oracles sharing a
+  /// cache key their rows by (graph, relation, params), so mixed sharing
+  /// is safe — but do NOT reuse one cache across graph *lifetimes*: the
+  /// fingerprint identifies a graph by address, so a new graph allocated
+  /// at a dead graph's address aliases its keys. The façade fails fast
+  /// when the aliased rows have a different node count, but same-sized
+  /// graphs would be served stale rows undetected — Clear() or drop the
+  /// cache when its graphs go away.
+  CompatibilityOracle(const SignedGraph& g, CompatKind kind,
+                      OracleParams params = {},
+                      std::shared_ptr<RowCache> cache = nullptr);
 
-  virtual CompatKind kind() const = 0;
+  /// Custom-kernel oracle (e.g. the threshold relation): rows come from
+  /// `kernel` with `kernel_params`; `display_kind` is what kind() reports.
+  CompatibilityOracle(const SignedGraph& g, CompatKind display_kind,
+                      RowKernelFn kernel, RowKernelParams kernel_params,
+                      OracleParams params = {},
+                      std::shared_ptr<RowCache> cache = nullptr);
+
+  CompatKind kind() const { return kind_; }
   const SignedGraph& graph() const { return *graph_; }
 
   /// Membership test for (u, v); reflexive and symmetric. (For SBPH — whose
   /// underlying heuristic search is direction-dependent — this is the
   /// symmetric closure: compatible when either direction finds a balanced
   /// positive path; both directions are sound w.r.t. exact SBP.)
-  virtual bool Compatible(NodeId u, NodeId v);
+  bool Compatible(NodeId u, NodeId v);
 
   /// Relation-specific distance between u and v (0 when u == v).
-  virtual uint32_t Distance(NodeId u, NodeId v);
+  uint32_t Distance(NodeId u, NodeId v);
 
   /// The full row for source q (computed on demand, cached). Note: for
   /// SBPH the row is *directional* (paths searched from q), matching the
   /// paper's per-source methodology; use Compatible()/Distance() for the
-  /// symmetric pair view.
+  /// symmetric pair view. The returned reference stays valid for the next
+  /// kPinnedRows GetRow calls on this oracle (rows themselves are
+  /// refcounted; hold GetRowShared() for longer lifetimes).
   const Row& GetRow(NodeId q);
 
-  /// Number of row computations performed (cache misses); for tests and
-  /// perf analysis.
-  uint64_t rows_computed() const { return rows_computed_; }
+  /// Like GetRow but hands out the refcounted row: valid for as long as
+  /// the caller holds it, immune to cache eviction.
+  std::shared_ptr<const Row> GetRowShared(NodeId q);
 
- protected:
-  explicit CompatibilityOracle(const SignedGraph& g, size_t max_cached_rows)
-      : graph_(&g), max_cached_rows_(max_cached_rows) {}
+  /// Batched multi-source fetch: probes the cache for every source, then
+  /// computes the misses (each exactly once, duplicates deduplicated) with
+  /// `threads` workers via ParallelFor and publishes them to the shared
+  /// cache. threads == 0 resolves to the hardware concurrency /
+  /// TFSN_THREADS. Returns rows in source order.
+  std::vector<std::shared_ptr<const Row>> GetRows(
+      std::span<const NodeId> sources, uint32_t threads = 1);
 
-  /// Computes the row for source q. comp[q] / dist[q] entries for q itself
-  /// are normalized by the caller (reflexivity).
-  virtual Row ComputeRow(NodeId q) = 0;
+  /// Number of row computations performed through this oracle (cache
+  /// misses it paid for); for tests and perf analysis. Rows computed by
+  /// other oracles sharing the cache do not count.
+  uint64_t rows_computed() const {
+    return rows_computed_.load(std::memory_order_relaxed);
+  }
+
+  /// The backing cache (shared or private); never null.
+  RowCache* row_cache() const { return cache_.get(); }
+
+  const RowKernelParams& kernel_params() const { return kernel_params_; }
+
+  /// How many GetRow references stay pinned (see GetRow).
+  static constexpr size_t kPinnedRows = 8;
 
  private:
+  std::shared_ptr<const Row> FetchRow(NodeId q);
+  uint64_t KeyFor(NodeId q) const { return key_base_ | q; }
+
   const SignedGraph* graph_;
-  size_t max_cached_rows_;
-  uint64_t rows_computed_ = 0;
-  std::vector<std::pair<NodeId, std::unique_ptr<Row>>> cache_slots_;
-  // Index into cache_slots_ per node; -1 when absent.
-  std::vector<int32_t> cache_index_;
-  size_t eviction_cursor_ = 0;
+  CompatKind kind_;
+  RowKernelFn kernel_;
+  RowKernelParams kernel_params_;
+  std::shared_ptr<RowCache> cache_;
+  /// High 32 bits of every cache key: a fingerprint of (graph, kernel,
+  /// params) so distinct configurations sharing a RowCache never collide.
+  uint64_t key_base_;
+  std::atomic<uint64_t> rows_computed_{0};
+  std::array<std::shared_ptr<const Row>, kPinnedRows> pins_;
+  size_t pin_cursor_ = 0;
 };
 
-/// Creates the oracle for `kind` over `g`. The graph must outlive the
-/// oracle.
+/// Creates the oracle for `kind` over `g` with a private cache. The graph
+/// must outlive the oracle.
 std::unique_ptr<CompatibilityOracle> MakeOracle(const SignedGraph& g,
                                                 CompatKind kind,
                                                 OracleParams params = {});
+
+/// As above, but sharing `cache` (thread-safe) with other oracles.
+std::unique_ptr<CompatibilityOracle> MakeOracle(
+    const SignedGraph& g, CompatKind kind, OracleParams params,
+    std::shared_ptr<RowCache> cache);
 
 }  // namespace tfsn

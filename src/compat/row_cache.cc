@@ -1,0 +1,116 @@
+#include "src/compat/row_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tfsn {
+
+namespace {
+
+// splitmix64 finalizer: spreads adjacent node ids across shards.
+uint64_t MixKey(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint32_t RoundUpPow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+RowCache::RowCache(RowCacheOptions options) : options_(options) {
+  num_shards_ = RoundUpPow2(std::max<uint32_t>(1, options_.shards));
+  shard_max_bytes_ =
+      options_.max_bytes == 0 ? 0
+                              : std::max<size_t>(1, options_.max_bytes / num_shards_);
+  shard_max_rows_ =
+      options_.max_rows == 0 ? 0
+                             : std::max<size_t>(1, options_.max_rows / num_shards_);
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+}
+
+RowCache::Shard& RowCache::ShardFor(uint64_t key) {
+  return shards_[MixKey(key) & (num_shards_ - 1)];
+}
+
+std::shared_ptr<const CompatRow> RowCache::Get(uint64_t key,
+                                               bool count_miss) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    if (count_miss) misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->row;
+}
+
+std::shared_ptr<const CompatRow> RowCache::Insert(uint64_t key,
+                                                 CompatRow row) {
+  auto holder = std::make_shared<const CompatRow>(std::move(row));
+  const size_t bytes = holder->ByteSize();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Lost a compute race: keep the first row so all callers agree.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->row;
+  }
+  shard.lru.push_front(Entry{key, bytes, holder});
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  EvictLocked(&shard);
+  return holder;
+}
+
+void RowCache::EvictLocked(Shard* shard) {
+  auto over_budget = [this, shard] {
+    if (shard_max_rows_ != 0 && shard->lru.size() > shard_max_rows_) {
+      return true;
+    }
+    return shard_max_bytes_ != 0 && shard->bytes > shard_max_bytes_;
+  };
+  while (shard->lru.size() > 1 && over_budget()) {
+    Entry& victim = shard->lru.back();
+    shard->bytes -= victim.bytes;
+    shard->index.erase(victim.key);
+    shard->lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+RowCacheStats RowCache::stats() const {
+  RowCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    const Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    s.rows_in_use += shard.lru.size();
+    s.bytes_in_use += shard.bytes;
+  }
+  return s;
+}
+
+void RowCache::Clear() {
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+}  // namespace tfsn

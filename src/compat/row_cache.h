@@ -1,0 +1,115 @@
+// Thread-safe shared cache of compatibility rows.
+//
+// Rows are keyed by an opaque 64-bit key (the oracle façade packs a
+// configuration tag into the high half and the source node into the low
+// half, so oracles with different relations or parameters can share one
+// cache without colliding). The cache is mutex-striped into shards; each
+// shard runs byte-budgeted LRU eviction, so hot rows survive mixed
+// workloads where the old per-oracle FIFO thrashed.
+//
+// Rows are handed out as shared_ptr<const CompatRow>: eviction merely
+// drops the cache's reference, so readers on other threads keep their rows
+// alive for as long as they hold the pointer. Hit/miss/eviction counters
+// are maintained with relaxed atomics and surfaced via stats().
+//
+// Concurrency contract: all member functions are safe to call from any
+// number of threads. A Get miss followed by a compute + Insert may race
+// with another thread computing the same key; Insert keeps the first row
+// and returns it, so callers always agree on one row per key (kernels are
+// deterministic, so the discarded duplicate is bit-identical anyway).
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/compat/row_kernels.h"
+
+namespace tfsn {
+
+/// Cache tuning. Budgets are split evenly across shards.
+struct RowCacheOptions {
+  /// Total byte budget across shards (0 = unbounded). A row costs roughly
+  /// 5 bytes per graph node.
+  size_t max_bytes = 256ull << 20;
+  /// Total row-count budget (0 = unbounded). With several shards the cap
+  /// is approximate: each shard holds at most max(1, max_rows / shards).
+  size_t max_rows = 0;
+  /// Mutex stripes; rounded up to a power of two. Use 1 for a private
+  /// single-thread cache (exact row-count semantics), more under
+  /// multi-threaded sharing.
+  uint32_t shards = 8;
+};
+
+/// Point-in-time counters. hits/misses/evictions/insertions are monotonic;
+/// rows_in_use/bytes_in_use reflect current occupancy.
+struct RowCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t insertions = 0;
+  size_t rows_in_use = 0;
+  size_t bytes_in_use = 0;
+};
+
+class RowCache {
+ public:
+  explicit RowCache(RowCacheOptions options = {});
+  RowCache(const RowCache&) = delete;
+  RowCache& operator=(const RowCache&) = delete;
+
+  /// The cached row for `key`, or nullptr on miss. A hit refreshes the
+  /// row's LRU position. Pass count_miss = false when re-probing a key
+  /// whose miss was already recorded (e.g. just before computing it), so
+  /// the hit/miss counters keep one entry per logical lookup.
+  std::shared_ptr<const CompatRow> Get(uint64_t key, bool count_miss = true);
+
+  /// Inserts `row` under `key` and returns it; if another thread inserted
+  /// `key` first, the existing row is returned instead and `row` is
+  /// dropped. Runs LRU eviction afterwards (the newest row is never the
+  /// victim).
+  std::shared_ptr<const CompatRow> Insert(uint64_t key, CompatRow row);
+
+  /// Aggregated counters (locks each shard briefly for occupancy).
+  RowCacheStats stats() const;
+
+  /// Drops every cached row (counters are retained).
+  void Clear();
+
+  const RowCacheOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    size_t bytes;
+    std::shared_ptr<const CompatRow> row;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(uint64_t key);
+  // Evicts from the back of `shard` until budgets hold; requires the
+  // shard mutex and never removes the front (most recent) entry.
+  void EvictLocked(Shard* shard);
+
+  RowCacheOptions options_;
+  uint32_t num_shards_;
+  size_t shard_max_bytes_;  // 0 = unbounded
+  size_t shard_max_rows_;   // 0 = unbounded
+  std::unique_ptr<Shard[]> shards_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> insertions_{0};
+};
+
+}  // namespace tfsn

@@ -1,0 +1,179 @@
+#include "src/compat/row_kernels.h"
+
+#include <cctype>
+
+#include "src/compat/signed_bfs.h"
+#include "src/util/logging.h"
+
+namespace tfsn {
+
+const char* CompatKindName(CompatKind kind) {
+  switch (kind) {
+    case CompatKind::kDPE: return "DPE";
+    case CompatKind::kSPA: return "SPA";
+    case CompatKind::kSPM: return "SPM";
+    case CompatKind::kSPO: return "SPO";
+    case CompatKind::kSBPH: return "SBPH";
+    case CompatKind::kSBP: return "SBP";
+    case CompatKind::kNNE: return "NNE";
+  }
+  return "?";
+}
+
+bool ParseCompatKind(const std::string& name, CompatKind* out) {
+  std::string upper;
+  for (char c : name) upper += static_cast<char>(std::toupper(c));
+  for (CompatKind kind : AllCompatKinds()) {
+    if (upper == CompatKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<CompatKind> AllCompatKinds() {
+  return {CompatKind::kDPE,  CompatKind::kSPA, CompatKind::kSPM,
+          CompatKind::kSPO,  CompatKind::kSBPH, CompatKind::kSBP,
+          CompatKind::kNNE};
+}
+
+namespace {
+
+// Reflexivity normalization shared by every kernel (Section 2 axioms).
+void NormalizeSelf(CompatRow* row, NodeId q) {
+  row->comp[q] = 1;
+  row->dist[q] = 0;
+}
+
+}  // namespace
+
+CompatRow ComputeDpeRow(const SignedGraph& g, const RowKernelParams&,
+                        NodeId q) {
+  CompatRow row;
+  row.dist = BfsDistances(g, q);
+  row.comp.assign(g.num_nodes(), 0);
+  for (const Neighbor& nb : g.Neighbors(q)) {
+    if (nb.sign == Sign::kPositive) row.comp[nb.to] = 1;
+  }
+  NormalizeSelf(&row, q);
+  return row;
+}
+
+CompatRow ComputeNneRow(const SignedGraph& g, const RowKernelParams&,
+                        NodeId q) {
+  CompatRow row;
+  row.dist = BfsDistances(g, q);
+  row.comp.assign(g.num_nodes(), 1);
+  for (const Neighbor& nb : g.Neighbors(q)) {
+    if (nb.sign == Sign::kNegative) row.comp[nb.to] = 0;
+  }
+  NormalizeSelf(&row, q);
+  return row;
+}
+
+namespace {
+
+// SPA / SPM / SPO share Algorithm 1 counts and differ only in the
+// per-target predicate.
+template <typename Pred>
+CompatRow SpRow(const SignedGraph& g, NodeId q, Pred pred) {
+  SignedBfsResult r = SignedShortestPathCount(g, q);
+  CompatRow row;
+  row.saturated = r.saturated;
+  row.dist = std::move(r.dist);
+  row.comp.assign(g.num_nodes(), 0);
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    if (row.dist[x] == kUnreachable) continue;
+    row.comp[x] = pred(r.num_pos[x], r.num_neg[x]);
+  }
+  NormalizeSelf(&row, q);
+  return row;
+}
+
+}  // namespace
+
+CompatRow ComputeSpaRow(const SignedGraph& g, const RowKernelParams&,
+                        NodeId q) {
+  return SpRow(g, q,
+               [](uint64_t pos, uint64_t neg) { return pos > 0 && neg == 0; });
+}
+
+CompatRow ComputeSpmRow(const SignedGraph& g, const RowKernelParams&,
+                        NodeId q) {
+  return SpRow(g, q, [](uint64_t pos, uint64_t neg) { return pos >= neg; });
+}
+
+CompatRow ComputeSpoRow(const SignedGraph& g, const RowKernelParams&,
+                        NodeId q) {
+  return SpRow(g, q, [](uint64_t pos, uint64_t) { return pos > 0; });
+}
+
+CompatRow ComputeThresholdRow(const SignedGraph& g, const RowKernelParams& p,
+                              NodeId q) {
+  const double theta = p.threshold_theta;
+  TFSN_CHECK(theta >= 0.0 && theta <= 1.0);
+  return SpRow(g, q, [theta](uint64_t pos, uint64_t neg) {
+    double total = static_cast<double>(pos) + static_cast<double>(neg);
+    if (total == 0.0) return false;
+    double score = static_cast<double>(pos) / total;
+    // θ == 0 still requires *some* positive path (score > 0) so that the
+    // negative-edge incompatibility axiom holds.
+    return theta > 0.0 ? score >= theta : score > 0.0;
+  });
+}
+
+CompatRow ComputeSbphRow(const SignedGraph& g, const RowKernelParams& p,
+                         NodeId q) {
+  SbphResult r = SbphFromSource(g, q, p.sbph_max_depth);
+  CompatRow row;
+  row.dist = std::move(r.pos_dist);
+  row.comp.assign(g.num_nodes(), 0);
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    row.comp[x] = row.dist[x] != kUnreachable;
+  }
+  NormalizeSelf(&row, q);
+  return row;
+}
+
+CompatRow ComputeSbpRow(const SignedGraph& g, const RowKernelParams& p,
+                        NodeId q) {
+  // The exact engine keeps per-instance scratch; one engine per row keeps
+  // the kernel stateless while amortizing the scratch over the n targets.
+  SbpExactSearch search(g, p.sbp);
+  CompatRow row;
+  const uint32_t n = g.num_nodes();
+  row.comp.assign(n, 0);
+  row.dist.assign(n, kUnreachable);
+  for (NodeId x = 0; x < n; ++x) {
+    if (x == q) continue;
+    SbpPairResult r = search.ShortestBalancedPath(q, x, Sign::kPositive);
+    if (r.length) {
+      row.comp[x] = 1;
+      row.dist[x] = *r.length;
+    }
+  }
+  NormalizeSelf(&row, q);
+  return row;
+}
+
+RowKernelFn KernelForKind(CompatKind kind) {
+  switch (kind) {
+    case CompatKind::kDPE: return &ComputeDpeRow;
+    case CompatKind::kSPA: return &ComputeSpaRow;
+    case CompatKind::kSPM: return &ComputeSpmRow;
+    case CompatKind::kSPO: return &ComputeSpoRow;
+    case CompatKind::kSBPH: return &ComputeSbphRow;
+    case CompatKind::kSBP: return &ComputeSbpRow;
+    case CompatKind::kNNE: return &ComputeNneRow;
+  }
+  TFSN_CHECK(false);
+  return nullptr;
+}
+
+CompatRow ComputeCompatRow(const SignedGraph& g, CompatKind kind,
+                           const RowKernelParams& params, NodeId q) {
+  return KernelForKind(kind)(g, params, q);
+}
+
+}  // namespace tfsn

@@ -1,0 +1,124 @@
+// Stateless per-source row kernels for the compatibility relations of the
+// paper (Section 3), one free function per relation:
+//
+//   DPE  — direct positive edge            (Definition 3.1, strictest)
+//   SPA  — all shortest paths positive     (Definition 3.3)
+//   SPM  — majority of shortest paths positive
+//   SPO  — at least one positive shortest path
+//   SBPH — heuristic structurally-balanced-path compatibility
+//   SBP  — exact structurally-balanced-path compatibility (Definition 3.4)
+//   NNE  — no direct negative edge         (Definition 3.2, most relaxed)
+//
+// plus the threshold (fractional) generalization of the SP family. Each
+// kernel maps (graph, params, source) to a CompatRow — the compatibility
+// flag and relation distance from the source to every node — with
+// reflexivity normalized (comp[q] = 1, dist[q] = 0). Kernels hold no state
+// and touch no caches, so any number of threads may run them concurrently
+// on the same graph; caching and the symmetric pair view live in
+// RowCache / CompatibilityOracle (see row_cache.h and compatibility.h).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/compat/sbp.h"
+#include "src/graph/bfs.h"
+#include "src/graph/signed_graph.h"
+
+namespace tfsn {
+
+/// Which compatibility relation a kernel or oracle implements.
+enum class CompatKind : uint8_t {
+  kDPE,
+  kSPA,
+  kSPM,
+  kSPO,
+  kSBPH,
+  kSBP,
+  kNNE,
+};
+
+/// Stable display name ("SPA", "SBPH", ...).
+const char* CompatKindName(CompatKind kind);
+
+/// Parses a name as produced by CompatKindName (case-insensitive).
+/// Returns false for unknown names.
+bool ParseCompatKind(const std::string& name, CompatKind* out);
+
+/// All kinds in relaxation order (DPE strictest ... NNE most relaxed,
+/// with SBPH just before SBP).
+std::vector<CompatKind> AllCompatKinds();
+
+/// A per-source result: flags and distances from a fixed query node to
+/// every node in the graph.
+struct CompatRow {
+  /// comp[x] != 0 iff (source, x) is in the relation.
+  std::vector<uint8_t> comp;
+  /// Relation-specific distance; kUnreachable possible.
+  std::vector<uint32_t> dist;
+  /// True when an underlying shortest-path counter saturated while this
+  /// row was computed (SP-family kernels only; see SignedBfsResult). The
+  /// row is still sound for SPA/SPO; SPM majority tests may be distorted
+  /// on adversarially dense graphs.
+  bool saturated = false;
+
+  /// Approximate heap + object footprint, used by the RowCache byte budget.
+  size_t ByteSize() const {
+    return sizeof(CompatRow) + comp.capacity() * sizeof(uint8_t) +
+           dist.capacity() * sizeof(uint32_t);
+  }
+};
+
+/// Tuning knobs shared by the kernels. A kernel reads only the fields that
+/// concern its relation.
+struct RowKernelParams {
+  /// Exact-SBP engine tuning (SBP kernel only).
+  SbpExactParams sbp;
+  /// Depth bound for the SBPH search (SBPH kernel only).
+  uint32_t sbph_max_depth = kUnreachable;
+  /// Threshold θ for the fractional SP kernel (threshold kernel only);
+  /// ignored by the named relations.
+  double threshold_theta = -1.0;
+};
+
+/// Uniform kernel signature: pure function of (graph, params, source).
+using RowKernelFn = CompatRow (*)(const SignedGraph&, const RowKernelParams&,
+                                  NodeId);
+
+// Per-relation kernels. All are O(n + m) except ComputeSbpRow (one exact
+// iterative-deepening search per target) and ComputeSbphRow (label-setting
+// over (node, side) states). ComputeSbphRow is *directional* — paths are
+// searched from q — matching the paper's per-source methodology; the
+// symmetric pair closure is applied by CompatibilityOracle.
+CompatRow ComputeDpeRow(const SignedGraph& g, const RowKernelParams& p,
+                        NodeId q);
+CompatRow ComputeSpaRow(const SignedGraph& g, const RowKernelParams& p,
+                        NodeId q);
+CompatRow ComputeSpmRow(const SignedGraph& g, const RowKernelParams& p,
+                        NodeId q);
+CompatRow ComputeSpoRow(const SignedGraph& g, const RowKernelParams& p,
+                        NodeId q);
+CompatRow ComputeSbphRow(const SignedGraph& g, const RowKernelParams& p,
+                         NodeId q);
+CompatRow ComputeSbpRow(const SignedGraph& g, const RowKernelParams& p,
+                        NodeId q);
+CompatRow ComputeNneRow(const SignedGraph& g, const RowKernelParams& p,
+                        NodeId q);
+
+/// Threshold (fractional) SP kernel: comp iff the fraction of positive
+/// shortest paths is >= p.threshold_theta (θ == 0 degenerates to "> 0" so
+/// negative-edge incompatibility holds). See threshold.h.
+CompatRow ComputeThresholdRow(const SignedGraph& g, const RowKernelParams& p,
+                              NodeId q);
+
+/// The kernel implementing a named relation.
+RowKernelFn KernelForKind(CompatKind kind);
+
+/// Convenience dispatch: KernelForKind(kind)(g, params, q).
+CompatRow ComputeCompatRow(const SignedGraph& g, CompatKind kind,
+                           const RowKernelParams& params, NodeId q);
+
+}  // namespace tfsn

@@ -1,6 +1,7 @@
 #include "src/compat/skill_index.h"
 
 #include <algorithm>
+#include <span>
 
 #include "src/util/logging.h"
 
@@ -8,7 +9,7 @@ namespace tfsn {
 
 SkillCompatibilityIndex::SkillCompatibilityIndex(
     CompatibilityOracle* oracle, const SkillAssignment& skills,
-    uint32_t sample_sources, Rng* rng) {
+    uint32_t sample_sources, Rng* rng, uint32_t threads) {
   const SignedGraph& g = oracle->graph();
   const uint32_t n = g.num_nodes();
   TFSN_CHECK_EQ(skills.num_users(), n);
@@ -31,16 +32,27 @@ SkillCompatibilityIndex::SkillCompatibilityIndex(
   }
   sources_used_ = static_cast<uint32_t>(sources.size());
 
-  for (uint32_t u : sources) {
-    const auto& row = oracle->GetRow(u);
-    auto u_skills = skills.SkillsOf(u);
-    if (u_skills.empty()) continue;
-    for (NodeId v = 0; v < n; ++v) {
-      bool compatible = row.comp[v] != 0;
-      for (SkillId s : u_skills) {
-        for (SkillId t : skills.SkillsOf(v)) {
-          ++witnessed_[static_cast<size_t>(s) * num_skills_ + t];
-          if (compatible) ++counts_[static_cast<size_t>(s) * num_skills_ + t];
+  // Fetch rows through the batch API in bounded chunks: misses are
+  // computed in parallel into the (possibly shared) row cache while the
+  // chunk bound keeps peak pinned memory at kBatch rows. Aggregation order
+  // is the serial source order, so results are thread-count independent.
+  constexpr size_t kBatch = 128;
+  for (size_t off = 0; off < sources.size(); off += kBatch) {
+    const size_t len = std::min(kBatch, sources.size() - off);
+    auto rows = oracle->GetRows(
+        std::span<const NodeId>(sources.data() + off, len), threads);
+    for (size_t i = 0; i < len; ++i) {
+      const NodeId u = sources[off + i];
+      const CompatRow& row = *rows[i];
+      auto u_skills = skills.SkillsOf(u);
+      if (u_skills.empty()) continue;
+      for (NodeId v = 0; v < n; ++v) {
+        bool compatible = row.comp[v] != 0;
+        for (SkillId s : u_skills) {
+          for (SkillId t : skills.SkillsOf(v)) {
+            ++witnessed_[static_cast<size_t>(s) * num_skills_ + t];
+            if (compatible) ++counts_[static_cast<size_t>(s) * num_skills_ + t];
+          }
         }
       }
     }

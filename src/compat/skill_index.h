@@ -27,10 +27,16 @@ class SkillCompatibilityIndex {
  public:
   /// Builds the index by streaming oracle rows from `sample_sources`
   /// uniformly sampled users (0 = every user; exact). Self-pairs (u, u)
-  /// count, matching the paper's "including self-compatibility".
+  /// count, matching the paper's "including self-compatibility". Rows are
+  /// fetched in batches through CompatibilityOracle::GetRows, so missing
+  /// rows are computed with `threads` workers (0 = hardware concurrency /
+  /// TFSN_THREADS) and an oracle backed by a pre-warmed shared RowCache
+  /// builds entirely from cache hits; the aggregation itself is serial and
+  /// deterministic regardless of `threads`.
   SkillCompatibilityIndex(CompatibilityOracle* oracle,
                           const SkillAssignment& skills,
-                          uint32_t sample_sources, Rng* rng);
+                          uint32_t sample_sources, Rng* rng,
+                          uint32_t threads = 1);
 
   uint32_t num_skills() const { return num_skills_; }
 

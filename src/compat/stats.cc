@@ -27,10 +27,12 @@ std::vector<uint32_t> PickSources(uint32_t n, uint32_t sample_sources,
 struct PairAccumulator {
   uint64_t pairs_seen = 0;
   uint64_t pairs_compatible = 0;
+  uint64_t rows_saturated = 0;
   double dist_sum = 0.0;
   uint64_t dist_count = 0;
 
   void Consume(const CompatibilityOracle::Row& row, NodeId source) {
+    if (row.saturated) ++rows_saturated;
     for (NodeId v = 0; v < row.comp.size(); ++v) {
       if (v == source) continue;
       ++pairs_seen;
@@ -45,6 +47,7 @@ struct PairAccumulator {
   void Merge(const PairAccumulator& other) {
     pairs_seen += other.pairs_seen;
     pairs_compatible += other.pairs_compatible;
+    rows_saturated += other.rows_saturated;
     dist_sum += other.dist_sum;
     dist_count += other.dist_count;
   }
@@ -52,6 +55,7 @@ struct PairAccumulator {
     CompatPairStats stats;
     stats.pairs_seen = pairs_seen;
     stats.pairs_compatible = pairs_compatible;
+    stats.rows_saturated = rows_saturated;
     stats.sources_used = sources_used;
     stats.compatible_fraction =
         pairs_seen == 0 ? 0.0
@@ -77,26 +81,32 @@ CompatPairStats ComputeCompatPairStats(CompatibilityOracle* oracle,
   return acc.Finish(static_cast<uint32_t>(sources.size()));
 }
 
-CompatPairStats ComputeCompatPairStatsParallel(const SignedGraph& g,
-                                               CompatKind kind,
-                                               const OracleParams& params,
-                                               uint32_t sample_sources,
-                                               uint64_t seed,
-                                               uint32_t threads) {
+CompatPairStats ComputeCompatPairStatsParallel(
+    const SignedGraph& g, CompatKind kind, const OracleParams& params,
+    uint32_t sample_sources, uint64_t seed, uint32_t threads,
+    std::shared_ptr<RowCache> cache) {
   Rng rng(seed);
   std::vector<uint32_t> sources =
       PickSources(g.num_nodes(), sample_sources, &rng);
   threads = ResolveThreads(threads);
+  if (cache == nullptr) {
+    // Sources are sampled without replacement, so each row is consumed
+    // exactly once and never re-read: an ephemeral cache only needs to
+    // hold the rows in flight, not a real budget.
+    RowCacheOptions options;
+    options.max_rows = static_cast<size_t>(threads) * 4;
+    options.max_bytes = 0;
+    options.shards = threads;
+    cache = std::make_shared<RowCache>(options);
+  }
   std::vector<PairAccumulator> partial(threads);
   ParallelFor(sources.size(), threads,
               [&](uint32_t worker, uint64_t begin, uint64_t end) {
-                // Each worker owns a private oracle; rows are independent.
-                OracleParams local = params;
-                // Workers see a slice once each: a big cache buys nothing.
-                local.max_cached_rows = 2;
-                auto oracle = MakeOracle(g, kind, local);
+                // One façade per worker (the façade is not thread-safe),
+                // all publishing rows into the shared cache.
+                CompatibilityOracle oracle(g, kind, params, cache);
                 for (uint64_t i = begin; i < end; ++i) {
-                  partial[worker].Consume(oracle->GetRow(sources[i]),
+                  partial[worker].Consume(*oracle.GetRowShared(sources[i]),
                                           sources[i]);
                 }
               });

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "src/compat/compatibility.h"
 #include "src/util/rng.h"
@@ -21,6 +22,10 @@ struct CompatPairStats {
   uint64_t pairs_seen = 0;
   uint64_t pairs_compatible = 0;
   uint32_t sources_used = 0;
+  /// Sources whose row saturated a shortest-path counter (see
+  /// CompatRow::saturated); nonzero values flag possibly distorted SPM
+  /// majority tests on adversarially dense graphs.
+  uint64_t rows_saturated = 0;
 };
 
 /// Streams oracle rows from `sample_sources` random sources (0 = all
@@ -28,16 +33,15 @@ struct CompatPairStats {
 CompatPairStats ComputeCompatPairStats(CompatibilityOracle* oracle,
                                        uint32_t sample_sources, Rng* rng);
 
-/// Multi-threaded variant: splits the source set across `threads` workers,
-/// each owning a private oracle (the oracles themselves are not
-/// thread-safe). Produces the same statistics as the serial version for
-/// the same (kind, params, sources, seed). threads == 0 uses the hardware
-/// concurrency.
-CompatPairStats ComputeCompatPairStatsParallel(const SignedGraph& g,
-                                               CompatKind kind,
-                                               const OracleParams& params,
-                                               uint32_t sample_sources,
-                                               uint64_t seed,
-                                               uint32_t threads = 0);
+/// Multi-threaded variant: splits the source set across `threads` workers
+/// that all publish rows into one shared RowCache (pass `cache` to keep
+/// the computed rows for reuse — e.g. a subsequent skill-index build —
+/// or nullptr for an ephemeral cache). Produces the same statistics as the
+/// serial version for the same (kind, params, sources, seed); threads == 0
+/// uses the hardware concurrency / TFSN_THREADS.
+CompatPairStats ComputeCompatPairStatsParallel(
+    const SignedGraph& g, CompatKind kind, const OracleParams& params,
+    uint32_t sample_sources, uint64_t seed, uint32_t threads = 0,
+    std::shared_ptr<RowCache> cache = nullptr);
 
 }  // namespace tfsn

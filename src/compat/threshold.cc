@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/compat/row_kernels.h"
 #include "src/compat/signed_bfs.h"
 #include "src/graph/bfs.h"
 
@@ -16,52 +17,20 @@ double PositivePathScore(const SignedGraph& g, NodeId u, NodeId v) {
   return total == 0.0 ? 0.0 : static_cast<double>(r.num_pos[v]) / total;
 }
 
-namespace {
-
-class ThresholdOracle final : public CompatibilityOracle {
- public:
-  ThresholdOracle(const SignedGraph& g, double theta, const OracleParams& p)
-      : CompatibilityOracle(g, p.max_cached_rows),
-        theta_(std::clamp(theta, 0.0, 1.0)) {}
-
-  // Reported as the nearest named relation for display purposes.
-  CompatKind kind() const override {
-    if (theta_ >= 1.0) return CompatKind::kSPA;
-    if (theta_ >= 0.5) return CompatKind::kSPM;
-    return CompatKind::kSPO;
-  }
-
-  double theta() const { return theta_; }
-
- protected:
-  Row ComputeRow(NodeId q) override {
-    SignedBfsResult r = SignedShortestPathCount(graph(), q);
-    Row row;
-    row.dist = std::move(r.dist);
-    row.comp.assign(graph().num_nodes(), 0);
-    for (NodeId x = 0; x < graph().num_nodes(); ++x) {
-      if (row.dist[x] == kUnreachable) continue;
-      double total = static_cast<double>(r.num_pos[x]) +
-                     static_cast<double>(r.num_neg[x]);
-      if (total == 0.0) continue;
-      double score = static_cast<double>(r.num_pos[x]) / total;
-      // θ == 0 still requires *some* positive path (score > 0) so that the
-      // negative-edge incompatibility axiom holds.
-      row.comp[x] = theta_ > 0.0 ? score >= theta_ : score > 0.0;
-    }
-    return row;
-  }
-
- private:
-  double theta_;
-};
-
-}  // namespace
-
 std::unique_ptr<CompatibilityOracle> MakeThresholdOracle(const SignedGraph& g,
                                                          double theta,
                                                          OracleParams params) {
-  return std::make_unique<ThresholdOracle>(g, theta, params);
+  const double clamped = std::clamp(theta, 0.0, 1.0);
+  // Reported as the nearest named relation for display purposes.
+  CompatKind display = clamped >= 1.0   ? CompatKind::kSPA
+                       : clamped >= 0.5 ? CompatKind::kSPM
+                                        : CompatKind::kSPO;
+  RowKernelParams kernel_params;
+  kernel_params.sbp = params.sbp;
+  kernel_params.sbph_max_depth = params.sbph_max_depth;
+  kernel_params.threshold_theta = clamped;
+  return std::make_unique<CompatibilityOracle>(
+      g, display, &ComputeThresholdRow, kernel_params, params, nullptr);
 }
 
 }  // namespace tfsn

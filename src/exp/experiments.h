@@ -32,8 +32,11 @@ struct Table1Row {
 
 /// Computes the Table 1 row for a dataset. Diameter is exact for graphs up
 /// to `exact_diameter_limit` nodes, else a sampled double-sweep estimate.
+/// The exact all-sources eccentricity sweep is parallelized over `threads`
+/// workers (1 = serial, 0 = hardware concurrency / TFSN_THREADS); the
+/// result is thread-count independent.
 Table1Row ComputeTable1Row(const Dataset& ds, uint32_t exact_diameter_limit,
-                           uint64_t seed);
+                           uint64_t seed, uint32_t threads = 1);
 
 // ---------------------------------------------------------------------------
 // Table 2 — comparison of compatibility relations
@@ -45,6 +48,10 @@ struct Table2Cell {
   double comp_skills_pct = 0.0;  ///< % of (non-empty) skill pairs compatible
   double avg_distance = 0.0;     ///< mean relation distance, compatible pairs
   uint32_t sources_used = 0;
+  /// Sources whose row saturated a shortest-path counter (SP relations
+  /// only; see CompatRow::saturated). Nonzero flags possibly distorted
+  /// SPM majority answers.
+  uint64_t rows_saturated = 0;
   double seconds = 0.0;
 };
 
@@ -58,9 +65,13 @@ struct Table2Options {
   std::optional<bool> include_sbp;
   /// Graphs up to this many nodes always use all sources and include SBP.
   uint32_t small_graph_limit = 500;
-  /// Worker threads for the pair statistics (1 = serial; 0 = hardware
-  /// concurrency). The skill index build stays serial either way.
+  /// Worker threads for the pair statistics and for skill-index row
+  /// computation (1 = serial; 0 = hardware concurrency / TFSN_THREADS).
+  /// All workers share one row cache, so rows computed for the pair
+  /// statistics are reused by the skill-index build.
   uint32_t threads = 1;
+  /// Byte budget of the shared row cache.
+  size_t cache_bytes = 256ull << 20;
   OracleParams oracle;
   uint64_t seed = 7;
 };
@@ -93,6 +104,13 @@ struct TeamExperimentOptions {
   std::vector<CompatKind> kinds = {CompatKind::kSPA, CompatKind::kSPM,
                                    CompatKind::kSPO, CompatKind::kSBPH,
                                    CompatKind::kNNE};
+  /// Workers for skill-index row computation and greedy row prefetching
+  /// (1 = serial; 0 = hardware concurrency / TFSN_THREADS). One shared
+  /// row cache serves the index build, the MAX bound, and every former, so
+  /// results are thread-count independent.
+  uint32_t threads = 1;
+  /// Byte budget of the shared row cache.
+  size_t cache_bytes = 256ull << 20;
   OracleParams oracle;
   uint64_t seed = 7;
 };
@@ -136,6 +154,8 @@ struct Table3Options {
   std::vector<CompatKind> kinds = {CompatKind::kSPA, CompatKind::kSPM,
                                    CompatKind::kSPO, CompatKind::kSBPH,
                                    CompatKind::kNNE};
+  /// Byte budget of the row cache shared by the per-relation oracles.
+  size_t cache_bytes = 256ull << 20;
   OracleParams oracle;
   uint64_t seed = 7;
 };

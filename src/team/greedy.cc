@@ -1,6 +1,7 @@
 #include "src/team/greedy.h"
 
 #include <algorithm>
+#include <span>
 
 #include "src/graph/bfs.h"
 #include "src/team/cost.h"
@@ -142,6 +143,31 @@ NodeId GreedyTeamFormer::SelectUser(SkillId skill,
 // seeds succeeded).
 std::pair<uint32_t, uint32_t> GreedyTeamFormer::EnumerateCandidates(
     const Task& task, Rng* rng, std::vector<TeamResult>* sink) {
+  // Warm the row cache for the task's whole row working set — every
+  // candidate the seed loop can touch holds one of the task's skills — so
+  // the misses are computed by parallel workers instead of serially on
+  // first use.
+  if (params_.prefetch_threads > 0) {
+    std::vector<NodeId> holders;
+    for (SkillId s : task.skills()) {
+      auto hs = skills_.Holders(s);
+      holders.insert(holders.end(), hs.begin(), hs.end());
+    }
+    std::sort(holders.begin(), holders.end());
+    holders.erase(std::unique(holders.begin(), holders.end()), holders.end());
+    // Chunked like the skill-index build: each batch's pins are dropped
+    // before the next, bounding peak pinned memory at kPrefetchBatch rows
+    // while the rows themselves land in the cache.
+    constexpr size_t kPrefetchBatch = 128;
+    for (size_t off = 0; off < holders.size(); off += kPrefetchBatch) {
+      oracle_->GetRows(
+          std::span<const NodeId>(holders.data() + off,
+                                  std::min(kPrefetchBatch,
+                                           holders.size() - off)),
+          params_.prefetch_threads);
+    }
+  }
+
   // Initial skill (line 3) over the whole task.
   std::vector<SkillId> all_skills(task.skills().begin(), task.skills().end());
   SkillId first = SelectSkill(all_skills);

@@ -62,6 +62,13 @@ struct GreedyParams {
   /// kMostCompatible only: cap on future-holder candidates examined per
   /// compatibility count (0 = all).
   uint32_t most_compatible_pool_cap = 256;
+  /// When nonzero, Form/FormTopK first batch-prefetch the oracle rows of
+  /// every holder of the task's skills (the row working set of the greedy
+  /// search) with this many workers via CompatibilityOracle::GetRows —
+  /// warming the shared row cache in parallel instead of computing rows
+  /// one by one inside the seed loop. 0 disables prefetching; results are
+  /// identical either way.
+  uint32_t prefetch_threads = 0;
   /// Objective used to pick the best candidate team across seeds (the
   /// paper uses the diameter). The kMinDistance user policy always greedily
   /// bounds the diameter; this only changes the final argmin.

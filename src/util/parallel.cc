@@ -1,31 +1,26 @@
 #include "src/util/parallel.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace tfsn {
 
 uint32_t ResolveThreads(uint32_t hint) {
   if (hint != 0) return hint;
+  if (const char* env = std::getenv("TFSN_THREADS")) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 1024) {
+      return static_cast<uint32_t>(v);
+    }
+  }
   unsigned hw = std::thread::hardware_concurrency();
   return std::clamp<uint32_t>(hw == 0 ? 4 : hw, 1, 64);
 }
 
 void ParallelFor(uint64_t n, uint32_t threads,
                  const std::function<void(uint32_t, uint64_t, uint64_t)>& fn) {
-  threads = std::max<uint32_t>(1, std::min<uint64_t>(threads, n == 0 ? 1 : n));
-  if (threads == 1) {
-    fn(0, 0, n);
-    return;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  uint64_t chunk = (n + threads - 1) / threads;
-  for (uint32_t w = 0; w < threads; ++w) {
-    uint64_t begin = std::min<uint64_t>(n, static_cast<uint64_t>(w) * chunk);
-    uint64_t end = std::min<uint64_t>(n, begin + chunk);
-    pool.emplace_back([&fn, w, begin, end] { fn(w, begin, end); });
-  }
-  for (std::thread& t : pool) t.join();
+  internal::ParallelForImpl(n, threads, fn);
 }
 
 }  // namespace tfsn

@@ -1,25 +1,97 @@
-// Minimal data-parallel helper: static range partitioning over std::thread.
+// Minimal data-parallel helpers: static range partitioning and dynamic
+// (atomic-counter) item scheduling over std::thread.
 //
-// The compatibility oracles are deliberately single-threaded (they own row
-// caches); parallel experiment code instead gives each worker its own
-// oracle and splits the *source nodes* across workers — embarrassingly
-// parallel, no sharing, no locks.
+// The row kernels in src/compat are pure functions and the RowCache is
+// thread-safe, so parallel callers share one cache and split the *source
+// nodes* across workers — embarrassingly parallel, contention only on the
+// cache shards.
+//
+// Two dispatch flavours are provided:
+//  * ParallelFor(n, threads, fn)      — fn(worker, begin, end), static
+//    chunks. The templated overload binds lambdas directly (no
+//    std::function indirection); the std::function overload remains for
+//    callers that already hold one.
+//  * ParallelForEach(n, threads, fn)  — fn(i), items handed out one at a
+//    time from a shared atomic counter. Use when per-item cost varies
+//    wildly (e.g. SBP rows next to NNE rows).
 
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace tfsn {
 
-/// Number of workers to use for `hint` (0 = hardware concurrency, capped).
+/// Number of workers to use for `hint`. 0 resolves to the TFSN_THREADS
+/// environment variable when set (and a positive integer), else the
+/// hardware concurrency, capped.
 uint32_t ResolveThreads(uint32_t hint);
+
+namespace internal {
+
+template <typename Fn>
+void ParallelForImpl(uint64_t n, uint32_t threads, Fn&& fn) {
+  threads = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::min<uint64_t>(threads, n == 0 ? 1 : n)));
+  if (threads == 1) {
+    fn(0, uint64_t{0}, n);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  uint64_t chunk = (n + threads - 1) / threads;
+  for (uint32_t w = 0; w < threads; ++w) {
+    uint64_t begin = std::min<uint64_t>(n, static_cast<uint64_t>(w) * chunk);
+    uint64_t end = std::min<uint64_t>(n, begin + chunk);
+    pool.emplace_back([&fn, w, begin, end] { fn(w, begin, end); });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace internal
 
 /// Invokes fn(worker_id, begin, end) on `threads` workers, statically
 /// partitioning [0, n). Blocks until all workers finish. fn must not throw.
+/// This templated overload dispatches the callable directly.
+template <typename Fn>
+void ParallelFor(uint64_t n, uint32_t threads, Fn&& fn) {
+  internal::ParallelForImpl(n, threads, std::forward<Fn>(fn));
+}
+
+/// Overload for callers that already hold a std::function.
 void ParallelFor(uint64_t n, uint32_t threads,
                  const std::function<void(uint32_t, uint64_t, uint64_t)>& fn);
+
+/// Invokes fn(i) once for every i in [0, n), handing items to `threads`
+/// workers from a shared atomic counter (dynamic load balancing). Iteration
+/// order across workers is unspecified. Blocks until done; fn must not
+/// throw and must tolerate concurrent invocations for distinct i.
+template <typename Fn>
+void ParallelForEach(uint64_t n, uint32_t threads, Fn&& fn) {
+  threads = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::min<uint64_t>(threads, n == 0 ? 1 : n)));
+  if (threads == 1) {
+    for (uint64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<uint64_t> next{0};
+  auto worker = [&next, n, &fn] {
+    for (;;) {
+      uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (uint32_t w = 1; w < threads; ++w) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+}
 
 }  // namespace tfsn

@@ -4,6 +4,7 @@
 #include "src/compat/threshold.h"
 
 #include <atomic>
+#include <cstdlib>
 
 #include <gtest/gtest.h>
 
@@ -132,6 +133,30 @@ TEST(ParallelForTest, CoversRangeOnce) {
     for (uint64_t i = begin; i < end; ++i) (*hits)[i].fetch_add(1);
   });
   for (const auto& h : storage) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ParallelForEachCoversRangeOnce) {
+  std::vector<std::atomic<int>> hits(777);
+  ParallelForEach(hits.size(), 8,
+                  [&hits](uint64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Degenerate cases.
+  int calls = 0;
+  ParallelForEach(0, 4, [&calls](uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelForEach(3, 1, [&calls](uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(ParallelForTest, ResolveThreadsHonoursEnvOverride) {
+  ASSERT_EQ(setenv("TFSN_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(ResolveThreads(0), 3u);
+  // An explicit hint always wins over the environment.
+  EXPECT_EQ(ResolveThreads(5), 5u);
+  ASSERT_EQ(setenv("TFSN_THREADS", "garbage", 1), 0);
+  EXPECT_GE(ResolveThreads(0), 1u);  // falls back to hardware concurrency
+  ASSERT_EQ(unsetenv("TFSN_THREADS"), 0);
+  EXPECT_GE(ResolveThreads(0), 1u);
 }
 
 TEST(ParallelForTest, ZeroAndOneElement) {
