@@ -1,16 +1,41 @@
-// Microbenchmarks for the compatibility machinery: Algorithm 1 (signed
-// BFS), SBPH label-setting, exact SBP queries, plain BFS baseline, and
-// oracle row caching. Run with --benchmark_filter=... to narrow.
+// Microbenchmarks for the compatibility machinery.
+//
+// Two modes:
+//
+//  1. Batch-vs-scalar row construction (always available):
+//       micro_compat --quick [--json=BENCH_micro_compat.json]
+//       micro_compat --batch [--sources=N] [--json=...]
+//     measures the bit-parallel 64-source engine (ms_signed_bfs.h) against
+//     the scalar per-row kernels for SPA/SPO on preferential-attachment
+//     graphs, printing rows/sec and the batch speedup, and optionally
+//     writing a BENCH_*.json trajectory file (format: README, "Bench JSON
+//     output"). --quick trims the sweep for CI smoke runs and skips the
+//     Google-Benchmark suite.
+//
+//  2. The Google-Benchmark suite (when the library is available): signed
+//     BFS (Algorithm 1), SBPH label-setting, exact SBP queries, plain BFS
+//     baseline, oracle row caching, and the batched block engine. Run with
+//     --benchmark_filter=... to narrow.
 
-#include <benchmark/benchmark.h>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
 
+#include "bench_common.h"
 #include "src/compat/compatibility.h"
+#include "src/compat/ms_signed_bfs.h"
+#include "src/compat/row_kernels.h"
 #include "src/compat/sbp.h"
 #include "src/compat/signed_bfs.h"
-#include "src/data/datasets.h"
 #include "src/gen/generators.h"
 #include "src/graph/bfs.h"
 #include "src/util/rng.h"
+#include "src/util/timer.h"
+
+#ifdef TFSN_HAVE_GBENCH
+#include <benchmark/benchmark.h>
+#endif
 
 namespace tfsn {
 namespace {
@@ -28,6 +53,107 @@ const SignedGraph& GraphOfSize(int64_t n) {
   }
   return it->second;
 }
+
+// ---------------------------------------------------------------------------
+// Batch vs scalar row construction (the PR's headline measurement)
+// ---------------------------------------------------------------------------
+
+struct BatchMeasurement {
+  uint32_t n = 0;
+  uint64_t edges = 0;
+  CompatKind kind = CompatKind::kSPA;
+  uint32_t sources = 0;
+  double scalar_seconds = 0.0;
+  double batch_seconds = 0.0;
+
+  double scalar_rows_per_sec() const {
+    return scalar_seconds > 0 ? sources / scalar_seconds : 0.0;
+  }
+  double batch_rows_per_sec() const {
+    return batch_seconds > 0 ? sources / batch_seconds : 0.0;
+  }
+  double speedup() const {
+    return batch_seconds > 0 ? scalar_seconds / batch_seconds : 0.0;
+  }
+};
+
+BatchMeasurement MeasureBatchVsScalar(const SignedGraph& g, CompatKind kind,
+                                      uint32_t num_sources) {
+  BatchMeasurement m;
+  m.n = g.num_nodes();
+  m.edges = g.num_edges();
+  m.kind = kind;
+
+  Rng rng(19 + static_cast<uint64_t>(kind));
+  std::vector<NodeId> sources =
+      rng.SampleWithoutReplacement(g.num_nodes(),
+                                   std::min(num_sources, g.num_nodes()));
+  m.sources = static_cast<uint32_t>(sources.size());
+
+  const RowKernelParams params;
+  Timer scalar_timer;
+  for (NodeId q : sources) {
+    CompatRow row = ComputeCompatRow(g, kind, params, q);
+    // Keep the optimizer honest without Google Benchmark helpers.
+    if (row.comp.empty()) std::abort();
+  }
+  m.scalar_seconds = scalar_timer.Seconds();
+
+  Timer batch_timer;
+  for (size_t off = 0; off < sources.size(); off += kMsBfsBatchSize) {
+    const size_t len = std::min(kMsBfsBatchSize, sources.size() - off);
+    auto rows = ComputeCompatRowBlock(
+        g, kind, std::span<const NodeId>(sources.data() + off, len));
+    if (rows.size() != len) std::abort();
+  }
+  m.batch_seconds = batch_timer.Seconds();
+  return m;
+}
+
+// Runs the batch-vs-scalar sweep, prints a table, and appends one JSON
+// object per measurement. Single-threaded by construction: the speedup is
+// pure bit-parallelism, not thread parallelism.
+void RunBatchSweep(bool quick, uint32_t num_sources, bench::JsonArrayWriter* json) {
+  std::vector<int64_t> sizes = quick ? std::vector<int64_t>{1000, 10000}
+                                     : std::vector<int64_t>{1000, 10000, 30000};
+  std::printf(
+      "batch vs scalar row construction (single thread, %u sources)\n"
+      "%8s %9s %5s %14s %14s %9s\n",
+      num_sources, "n", "edges", "kind", "scalar rows/s", "batch rows/s",
+      "speedup");
+  for (int64_t n : sizes) {
+    const SignedGraph& g = GraphOfSize(n);
+    for (CompatKind kind : {CompatKind::kSPA, CompatKind::kSPO}) {
+      BatchMeasurement m = MeasureBatchVsScalar(g, kind, num_sources);
+      std::printf("%8u %9llu %5s %14.1f %14.1f %8.2fx\n", m.n,
+                  static_cast<unsigned long long>(m.edges),
+                  CompatKindName(m.kind), m.scalar_rows_per_sec(),
+                  m.batch_rows_per_sec(), m.speedup());
+      if (json != nullptr) {
+        json->BeginObject();
+        json->Field("bench", "micro_compat");
+        json->Field("experiment", "batch_vs_scalar");
+        json->Field("n", m.n);
+        json->Field("edges", m.edges);
+        json->Field("kind", CompatKindName(m.kind));
+        json->Field("sources", m.sources);
+        json->Field("threads", 1);
+        json->Field("scalar_seconds", m.scalar_seconds);
+        json->Field("batch_seconds", m.batch_seconds);
+        json->Field("scalar_rows_per_sec", m.scalar_rows_per_sec());
+        json->Field("batch_rows_per_sec", m.batch_rows_per_sec());
+        json->Field("speedup", m.speedup());
+        json->EndObject();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Google-Benchmark suite
+// ---------------------------------------------------------------------------
+
+#ifdef TFSN_HAVE_GBENCH
 
 void BM_PlainBfs(benchmark::State& state) {
   const SignedGraph& g = GraphOfSize(state.range(0));
@@ -52,6 +178,19 @@ void BM_SignedShortestPathCount(benchmark::State& state) {
                           static_cast<int64_t>(g.num_edges()));
 }
 BENCHMARK(BM_SignedShortestPathCount)->Arg(1000)->Arg(10000)->Arg(30000);
+
+void BM_BatchedRowBlock64(benchmark::State& state) {
+  // One full 64-source bit-parallel block; items = rows produced.
+  const SignedGraph& g = GraphOfSize(state.range(0));
+  Rng rng(6);
+  std::vector<NodeId> sources = rng.SampleWithoutReplacement(g.num_nodes(), 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeCompatRowBlock(g, CompatKind::kSPA, sources));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_BatchedRowBlock64)->Arg(1000)->Arg(10000)->Arg(30000);
 
 void BM_SbphFromSource(benchmark::State& state) {
   const SignedGraph& g = GraphOfSize(state.range(0));
@@ -115,7 +254,64 @@ BENCHMARK(BM_OracleRowCold)
     ->Arg(static_cast<int>(CompatKind::kSBPH))
     ->Arg(static_cast<int>(CompatKind::kNNE));
 
+#endif  // TFSN_HAVE_GBENCH
+
 }  // namespace
 }  // namespace tfsn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  tfsn::Flags flags(argc, argv);
+  const bool quick = flags.GetBool("quick");
+  const std::string json_path = flags.GetString("json");
+  const bool batch = flags.GetBool("batch") || quick || !json_path.empty();
+
+  if (batch) {
+    tfsn::bench::JsonArrayWriter json;
+    tfsn::RunBatchSweep(
+        quick, static_cast<uint32_t>(flags.GetInt("sources", 128)),
+        json_path.empty() ? nullptr : &json);
+    if (!json_path.empty() && !json.WriteFile(json_path)) return 1;
+    if (quick) return 0;
+  }
+
+#ifdef TFSN_HAVE_GBENCH
+  // Strip the custom flags; Google Benchmark rejects unknown --flags.
+  auto is_custom = [](const char* a) {
+    for (const char* name : {"--json", "--quick", "--batch", "--sources"}) {
+      const size_t len = std::strlen(name);
+      if (std::strncmp(a, name, len) == 0 && (a[len] == '\0' || a[len] == '=')) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    if (is_custom(argv[i])) {
+      // Flags also accepts the "--name value" form: drop the value token
+      // along with the flag.
+      if (std::strchr(argv[i], '=') == nullptr && i + 1 < argc &&
+          std::strncmp(argv[i + 1], "--", 2) != 0) {
+        ++i;
+      }
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+#else
+  if (!batch) {
+    // Without Google Benchmark the batch sweep is the whole suite.
+    tfsn::RunBatchSweep(quick,
+                        static_cast<uint32_t>(flags.GetInt("sources", 128)),
+                        nullptr);
+  }
+#endif
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/compat/ms_signed_bfs.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
 
@@ -151,22 +152,60 @@ CompatibilityOracle::GetRows(std::span<const NodeId> sources,
   for (size_t i : missed) {
     if (first_index.try_emplace(sources[i], i).second) work.push_back(i);
   }
-  // Dynamic scheduling: per-row cost varies (SBP rows are far heavier than
-  // plain BFS rows), and the kernels are pure, so workers only contend on
-  // cache shard mutexes.
-  ParallelForEach(work.size(), ResolveThreads(threads), [&](uint64_t w) {
-    const size_t i = work[w];
-    const NodeId q = sources[i];
-    const uint64_t key = KeyFor(q);
-    // Re-probe (uncounted: the probe pass recorded the miss) in case a
-    // concurrent sharer published the row since.
-    std::shared_ptr<const Row> row = cache_->Get(key, /*count_miss=*/false);
-    if (row == nullptr) {
-      rows_computed_.fetch_add(1, std::memory_order_relaxed);
-      row = cache_->Insert(key, kernel_(*graph_, kernel_params_, q));
-    }
-    out[i] = std::move(row);
-  });
+  // Existence-only relations with the stock kernel go through the
+  // bit-parallel engine: misses are grouped into 64-source blocks, each
+  // block one traversal (ms_signed_bfs.h), blocks spread across workers.
+  // Count-based relations (SPM, threshold) and custom kernels keep the
+  // scalar per-source path. A lone miss is cheaper scalar, too.
+  const bool batchable = kernel_ == KernelForKind(kind_) &&
+                         MsBfsSupportsKind(kind_) && work.size() > 1;
+  if (batchable) {
+    const size_t blocks = (work.size() + kMsBfsBatchSize - 1) / kMsBfsBatchSize;
+    ParallelForEach(blocks, ResolveThreads(threads), [&](uint64_t b) {
+      const size_t begin = b * kMsBfsBatchSize;
+      const size_t end = std::min(work.size(), begin + kMsBfsBatchSize);
+      std::vector<NodeId> block;
+      std::vector<size_t> out_index;
+      block.reserve(end - begin);
+      out_index.reserve(end - begin);
+      for (size_t w = begin; w < end; ++w) {
+        const size_t i = work[w];
+        const NodeId q = sources[i];
+        // Re-probe (uncounted) before paying for the traversal: a
+        // concurrent sharer may have published the row since the probe
+        // pass recorded the miss.
+        if (auto row = cache_->Get(KeyFor(q), /*count_miss=*/false)) {
+          out[i] = std::move(row);
+        } else {
+          block.push_back(q);
+          out_index.push_back(i);
+        }
+      }
+      if (block.empty()) return;
+      std::vector<Row> rows = ComputeCompatRowBlock(*graph_, kind_, block);
+      for (size_t k = 0; k < block.size(); ++k) {
+        rows_computed_.fetch_add(1, std::memory_order_relaxed);
+        out[out_index[k]] = cache_->Insert(KeyFor(block[k]), std::move(rows[k]));
+      }
+    });
+  } else {
+    // Dynamic scheduling: per-row cost varies (SBP rows are far heavier
+    // than plain BFS rows), and the kernels are pure, so workers only
+    // contend on cache shard mutexes.
+    ParallelForEach(work.size(), ResolveThreads(threads), [&](uint64_t w) {
+      const size_t i = work[w];
+      const NodeId q = sources[i];
+      const uint64_t key = KeyFor(q);
+      // Re-probe (uncounted: the probe pass recorded the miss) in case a
+      // concurrent sharer published the row since.
+      std::shared_ptr<const Row> row = cache_->Get(key, /*count_miss=*/false);
+      if (row == nullptr) {
+        rows_computed_.fetch_add(1, std::memory_order_relaxed);
+        row = cache_->Insert(key, kernel_(*graph_, kernel_params_, q));
+      }
+      out[i] = std::move(row);
+    });
+  }
   // Duplicated sources share the row computed for their first occurrence
   // (re-probing the cache could miss again under eviction pressure).
   for (size_t i : missed) {

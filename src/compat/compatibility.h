@@ -104,10 +104,22 @@ class CompatibilityOracle {
   std::shared_ptr<const Row> GetRowShared(NodeId q);
 
   /// Batched multi-source fetch: probes the cache for every source, then
-  /// computes the misses (each exactly once, duplicates deduplicated) with
-  /// `threads` workers via ParallelFor and publishes them to the shared
-  /// cache. threads == 0 resolves to the hardware concurrency /
+  /// computes the misses (each exactly once, duplicates deduplicated) and
+  /// publishes them to the shared cache. For SPA/SPO/DPE/NNE with the
+  /// stock kernel, misses are grouped into 64-source blocks computed by
+  /// the bit-parallel engine (ms_signed_bfs.h) — one traversal per block,
+  /// blocks distributed over `threads` workers; such rows never set
+  /// `saturated` (the engine keeps no path counts). Other relations and
+  /// custom kernels fall back to scalar per-source computation via
+  /// ParallelForEach. threads == 0 resolves to the hardware concurrency /
   /// TFSN_THREADS. Returns rows in source order.
+  ///
+  /// Note on `saturated` for SPA/SPO: a cached row reports the flag of
+  /// whichever path computed it first — true is possible only from a
+  /// scalar fetch (GetRow/Compatible/Distance), never from a batch — so
+  /// aggregate rows_saturated counters are advisory for these relations.
+  /// Saturation cannot affect SPA/SPO comp/dist correctness either way;
+  /// the flag stays exact on the always-scalar SPM path, where it matters.
   std::vector<std::shared_ptr<const Row>> GetRows(
       std::span<const NodeId> sources, uint32_t threads = 1);
 

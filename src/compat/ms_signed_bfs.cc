@@ -1,0 +1,215 @@
+#include "src/compat/ms_signed_bfs.h"
+
+#include <bit>
+
+#include "src/graph/bfs.h"
+#include "src/util/logging.h"
+
+namespace tfsn {
+
+bool MsBfsSupportsKind(CompatKind kind) {
+  switch (kind) {
+    case CompatKind::kSPA:
+    case CompatKind::kSPO:
+    case CompatKind::kDPE:
+    case CompatKind::kNNE:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+// Per-level traversal state: `visit_*` hold the bits discovered at the
+// previous level (the frontier), `next_*` accumulate this level's
+// candidates, `pos`/`neg`/`seen` the settled planes. All are n words.
+struct Planes {
+  std::vector<uint64_t> pos, neg, seen;
+  std::vector<uint64_t> visit_pos, visit_neg, next_pos, next_neg;
+
+  explicit Planes(uint32_t n)
+      : pos(n, 0), neg(n, 0), seen(n, 0), visit_pos(n, 0), visit_neg(n, 0),
+        next_pos(n, 0), next_neg(n, 0) {}
+};
+
+// Runs the level-synchronous bit-parallel traversal, writing per-lane
+// distances into rows[lane].dist as bits first set. When `track_signs` is
+// false every edge propagates plane-preserving (unsigned BFS; the neg
+// plane stays zero).
+void Traverse(const SignedGraph& g, std::span<const NodeId> sources,
+              bool track_signs, Planes* p, std::vector<CompatRow>* rows) {
+  const uint32_t n = g.num_nodes();
+  const auto offsets = g.offsets();
+  const auto targets = g.adjacency_targets();
+  const auto sign_words = g.adjacency_sign_words();
+  const uint64_t directed_edges = targets.size();
+  const uint64_t full =
+      sources.size() == 64 ? ~0ull : ((1ull << sources.size()) - 1);
+
+  std::vector<NodeId> frontier, next_frontier, candidates;
+  frontier.reserve(sources.size());
+  uint64_t frontier_degree = 0;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const NodeId q = sources[i];
+    const uint64_t bit = 1ull << i;
+    if (p->visit_pos[q] == 0) {
+      frontier.push_back(q);
+      frontier_degree += g.Degree(q);
+    }
+    p->visit_pos[q] |= bit;
+    p->pos[q] |= bit;  // the empty path is positive
+    p->seen[q] |= bit;
+    (*rows)[i].dist[q] = 0;
+  }
+
+  uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    candidates.clear();
+    // Sparse frontiers push lane bits along their edges; dense frontiers
+    // pull instead — one sequential sweep over the adjacency of every node
+    // still missing lanes, skipping nodes all 64 sources have settled.
+    const bool pull = frontier_degree * 4 >= directed_edges && n > frontier.size();
+    if (!pull) {
+      for (const NodeId u : frontier) {
+        const uint64_t vp = p->visit_pos[u];
+        const uint64_t vn = p->visit_neg[u];
+        for (uint64_t e = offsets[u]; e < offsets[u + 1]; ++e) {
+          const NodeId x = targets[e];
+          uint64_t np = vp, nn = vn;
+          if (track_signs && ((sign_words[e >> 6] >> (e & 63)) & 1)) {
+            // Negative edge: a positive path extends to a negative one and
+            // vice versa — swap the planes.
+            np = vn;
+            nn = vp;
+          }
+          const uint64_t before = p->next_pos[x] | p->next_neg[x];
+          p->next_pos[x] |= np;
+          p->next_neg[x] |= nn;
+          if (before == 0) candidates.push_back(x);
+        }
+      }
+    } else {
+      for (NodeId x = 0; x < n; ++x) {
+        if (p->seen[x] == full) continue;  // every lane settled x already
+        uint64_t acc_p = 0, acc_n = 0;
+        for (uint64_t e = offsets[x]; e < offsets[x + 1]; ++e) {
+          const NodeId u = targets[e];
+          uint64_t vp = p->visit_pos[u];
+          uint64_t vn = p->visit_neg[u];
+          if ((vp | vn) == 0) continue;
+          if (track_signs && ((sign_words[e >> 6] >> (e & 63)) & 1)) {
+            std::swap(vp, vn);
+          }
+          acc_p |= vp;
+          acc_n |= vn;
+        }
+        if ((acc_p | acc_n) == 0) continue;
+        p->next_pos[x] = acc_p;
+        p->next_neg[x] = acc_n;
+        candidates.push_back(x);
+      }
+    }
+    // Propagation done; the old frontier's visit masks can go before the
+    // finalize pass writes the new ones (the sets may overlap).
+    for (const NodeId u : frontier) {
+      p->visit_pos[u] = 0;
+      p->visit_neg[u] = 0;
+    }
+    next_frontier.clear();
+    frontier_degree = 0;
+    for (const NodeId x : candidates) {
+      const uint64_t np = p->next_pos[x];
+      const uint64_t nn = p->next_neg[x];
+      p->next_pos[x] = 0;
+      p->next_neg[x] = 0;
+      // Lanes that reached x at an earlier level are settled: any path
+      // arriving now is longer than their shortest, so only fresh lanes
+      // record planes/distance and keep propagating.
+      const uint64_t fresh = (np | nn) & ~p->seen[x];
+      if (fresh == 0) continue;
+      p->seen[x] |= fresh;
+      p->pos[x] |= np & fresh;
+      p->neg[x] |= nn & fresh;
+      p->visit_pos[x] = np & fresh;
+      p->visit_neg[x] = nn & fresh;
+      next_frontier.push_back(x);
+      frontier_degree += g.Degree(x);
+      for (uint64_t m = fresh; m != 0; m &= m - 1) {
+        (*rows)[static_cast<size_t>(std::countr_zero(m))].dist[x] = level;
+      }
+    }
+    frontier.swap(next_frontier);
+  }
+}
+
+}  // namespace
+
+std::vector<CompatRow> ComputeCompatRowBlock(const SignedGraph& g,
+                                             CompatKind kind,
+                                             std::span<const NodeId> sources) {
+  TFSN_CHECK(MsBfsSupportsKind(kind));
+  TFSN_CHECK(!sources.empty());
+  TFSN_CHECK_LE(sources.size(), kMsBfsBatchSize);
+  const uint32_t n = g.num_nodes();
+  for (const NodeId q : sources) TFSN_CHECK_LT(q, n);
+
+  const bool track_signs =
+      kind == CompatKind::kSPA || kind == CompatKind::kSPO;
+  const uint8_t comp_default = kind == CompatKind::kNNE ? 1 : 0;
+
+  std::vector<CompatRow> rows(sources.size());
+  for (CompatRow& row : rows) {
+    row.comp.assign(n, comp_default);
+    row.dist.assign(n, kUnreachable);
+  }
+
+  Planes planes(n);
+  Traverse(g, sources, track_signs, &planes, &rows);
+
+  // Project the settled planes into per-row comp flags, matching the
+  // scalar kernels bit-for-bit (row_kernels.cc).
+  switch (kind) {
+    case CompatKind::kSPA:
+      // All shortest paths positive: a positive one exists, none negative.
+      for (NodeId x = 0; x < n; ++x) {
+        for (uint64_t m = planes.pos[x] & ~planes.neg[x]; m != 0; m &= m - 1) {
+          rows[static_cast<size_t>(std::countr_zero(m))].comp[x] = 1;
+        }
+      }
+      break;
+    case CompatKind::kSPO:
+      // At least one positive shortest path.
+      for (NodeId x = 0; x < n; ++x) {
+        for (uint64_t m = planes.pos[x]; m != 0; m &= m - 1) {
+          rows[static_cast<size_t>(std::countr_zero(m))].comp[x] = 1;
+        }
+      }
+      break;
+    case CompatKind::kDPE:
+      for (size_t i = 0; i < sources.size(); ++i) {
+        for (const Neighbor& nb : g.Neighbors(sources[i])) {
+          if (nb.sign == Sign::kPositive) rows[i].comp[nb.to] = 1;
+        }
+      }
+      break;
+    case CompatKind::kNNE:
+      for (size_t i = 0; i < sources.size(); ++i) {
+        for (const Neighbor& nb : g.Neighbors(sources[i])) {
+          if (nb.sign == Sign::kNegative) rows[i].comp[nb.to] = 0;
+        }
+      }
+      break;
+    default:
+      TFSN_CHECK(false);
+  }
+  // Reflexivity normalization (Section 2 axioms), as in NormalizeSelf.
+  for (size_t i = 0; i < sources.size(); ++i) {
+    rows[i].comp[sources[i]] = 1;
+    rows[i].dist[sources[i]] = 0;
+  }
+  return rows;
+}
+
+}  // namespace tfsn

@@ -1,0 +1,60 @@
+// Bit-parallel multi-source signed BFS: up to 64 compatibility rows per
+// traversal.
+//
+// Building a skill index or the Table 2 statistics is effectively an
+// all-sources run of Algorithm 1 — one O(n + m) signed BFS per row, the
+// dominant cost of every experiment. MS-BFS (Then et al., VLDB 2014)
+// observes that concurrent BFS traversals over the same graph share almost
+// all of their frontier work, and that packing one source per bit of a
+// machine word turns the sharing into plain word-wide OR/AND operations.
+//
+// The SPA and SPO relations only test the *existence* of a positive /
+// negative shortest path — never the saturating path counts — so two
+// bit-planes per node suffice:
+//
+//   pos[x] bit i  — source i has a positive shortest path to x
+//   neg[x] bit i  — source i has a negative shortest path to x
+//   seen = pos | neg  — source i has reached x at all
+//
+// Traversal is level-synchronous; traversing a negative edge swaps the two
+// planes (sign-flip propagation), exactly mirroring how Algorithm 1 routes
+// counts between N+ and N-. Per-(source, node) distances fall out of the
+// level at which a source's bit first sets. Dense frontiers switch to a
+// pull sweep over the not-yet-complete nodes (direction-optimizing BFS,
+// Beamer et al., SC 2012), which reads the compact SoA adjacency
+// sequentially.
+//
+// The engine reproduces the scalar row kernels bit-for-bit (comp and dist)
+// for SPA, SPO, DPE, and NNE; DPE/NNE only need the unsigned distance
+// plane plus a direct-neighbour scan. SPM and the threshold relation need
+// actual path counts and stay on the scalar kernels. Because no counts are
+// kept, batched rows never set CompatRow::saturated.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/compat/row_kernels.h"
+#include "src/graph/signed_graph.h"
+
+namespace tfsn {
+
+/// Sources per traversal: one per bit of the lane word.
+inline constexpr size_t kMsBfsBatchSize = 64;
+
+/// True when `kind`'s rows can be produced by the bit-parallel engine
+/// (SPA, SPO, DPE, NNE; the count-based SPM/threshold relations cannot).
+bool MsBfsSupportsKind(CompatKind kind);
+
+/// Computes the rows of `sources` (1 .. kMsBfsBatchSize of them, duplicates
+/// allowed) in one bit-parallel traversal. Rows are returned in source
+/// order and are bit-identical to ComputeCompatRow(g, kind, {}, q) in comp
+/// and dist; `saturated` is always false (the engine keeps no counts).
+/// Requires MsBfsSupportsKind(kind). O(n + m) words of scratch.
+std::vector<CompatRow> ComputeCompatRowBlock(const SignedGraph& g,
+                                             CompatKind kind,
+                                             std::span<const NodeId> sources);
+
+}  // namespace tfsn

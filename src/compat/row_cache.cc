@@ -54,6 +54,9 @@ std::shared_ptr<const CompatRow> RowCache::Get(uint64_t key,
 
 std::shared_ptr<const CompatRow> RowCache::Insert(uint64_t key,
                                                  CompatRow row) {
+  // Drop excess capacity (moves can leave capacity() > size()) so the
+  // byte budget charges what the cached row actually occupies.
+  row.ShrinkToFit();
   auto holder = std::make_shared<const CompatRow>(std::move(row));
   const size_t bytes = holder->ByteSize();
   Shard& shard = ShardFor(key);

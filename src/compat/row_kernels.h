@@ -65,10 +65,20 @@ struct CompatRow {
   /// on adversarially dense graphs.
   bool saturated = false;
 
-  /// Approximate heap + object footprint, used by the RowCache byte budget.
+  /// Approximate heap + object footprint, used by the RowCache byte
+  /// budget. Counts capacity, not size: after moves the two vectors'
+  /// capacities can diverge from their sizes, so the cache calls
+  /// ShrinkToFit() first to keep its byte accounting honest.
   size_t ByteSize() const {
     return sizeof(CompatRow) + comp.capacity() * sizeof(uint8_t) +
            dist.capacity() * sizeof(uint32_t);
+  }
+
+  /// Releases excess vector capacity so ByteSize() reflects the bytes the
+  /// row actually needs.
+  void ShrinkToFit() {
+    comp.shrink_to_fit();
+    dist.shrink_to_fit();
   }
 };
 

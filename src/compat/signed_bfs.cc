@@ -1,6 +1,5 @@
 #include "src/compat/signed_bfs.h"
 
-#include <deque>
 #include <limits>
 
 namespace tfsn {
@@ -30,10 +29,13 @@ SignedBfsResult SignedShortestPathCount(const SignedGraph& g, NodeId q) {
   r.dist[q] = 0;
   r.num_pos[q] = 1;  // the empty path is positive
 
-  std::deque<NodeId> queue{q};
-  while (!queue.empty()) {
-    NodeId u = queue.front();
-    queue.pop_front();
+  // Flat FIFO: every node enters the queue at most once, so a preallocated
+  // vector plus a head index beats std::deque's chunked allocation.
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  queue.push_back(q);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    NodeId u = queue[head];
     for (const Neighbor& nb : g.Neighbors(u)) {
       NodeId x = nb.to;
       if (r.dist[x] == kUnreachable) {

@@ -1,7 +1,6 @@
 #include "src/graph/bfs.h"
 
 #include <algorithm>
-#include <deque>
 
 namespace tfsn {
 
@@ -36,10 +35,12 @@ uint32_t BfsDistance(const SignedGraph& g, NodeId source, NodeId target) {
   if (source == target) return 0;
   std::vector<uint32_t> dist(g.num_nodes(), kUnreachable);
   dist[source] = 0;
-  std::deque<NodeId> queue{source};
-  while (!queue.empty()) {
-    NodeId u = queue.front();
-    queue.pop_front();
+  // Flat FIFO (each node enqueues at most once); see signed_bfs.cc.
+  std::vector<NodeId> queue;
+  queue.reserve(g.num_nodes());
+  queue.push_back(source);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    NodeId u = queue[head];
     for (const Neighbor& nb : g.Neighbors(u)) {
       if (dist[nb.to] != kUnreachable) continue;
       dist[nb.to] = dist[u] + 1;
@@ -56,10 +57,11 @@ std::vector<NodeId> BfsShortestPath(const SignedGraph& g, NodeId source,
   std::vector<NodeId> parent(g.num_nodes(), kInvalidNode);
   std::vector<uint32_t> dist(g.num_nodes(), kUnreachable);
   dist[source] = 0;
-  std::deque<NodeId> queue{source};
-  while (!queue.empty()) {
-    NodeId u = queue.front();
-    queue.pop_front();
+  std::vector<NodeId> queue;
+  queue.reserve(g.num_nodes());
+  queue.push_back(source);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    NodeId u = queue[head];
     for (const Neighbor& nb : g.Neighbors(u)) {
       if (dist[nb.to] != kUnreachable) continue;
       dist[nb.to] = dist[u] + 1;

@@ -55,24 +55,28 @@ Result<SignedGraph> SignedGraphBuilder::Build() const {
   for (uint32_t u = 0; u < n; ++u) {
     g.offsets_[u + 1] = g.offsets_[u] + degree[u];
   }
-  g.adj_.resize(unique.size() * 2);
-  g.targets_.resize(unique.size() * 2);
+  // Scatter into a temporary array-of-structs, sort each adjacency list by
+  // target id for binary-search lookups, then pack into the SoA layout
+  // (4-byte targets + 1 sign bit per directed edge slot).
+  const uint64_t directed = unique.size() * 2;
+  std::vector<Neighbor> scratch(directed);
   std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
   for (const SignedEdge& e : unique) {
-    g.adj_[cursor[e.u]] = {e.v, e.sign};
-    g.targets_[cursor[e.u]++] = e.v;
-    g.adj_[cursor[e.v]] = {e.u, e.sign};
-    g.targets_[cursor[e.v]++] = e.u;
+    scratch[cursor[e.u]++] = {e.v, e.sign};
+    scratch[cursor[e.v]++] = {e.u, e.sign};
     if (e.sign == Sign::kNegative) ++g.num_negative_;
   }
-  // Sort each adjacency list by target id for binary-search lookups.
   for (uint32_t u = 0; u < n; ++u) {
-    auto begin = g.adj_.begin() + static_cast<int64_t>(g.offsets_[u]);
-    auto end = g.adj_.begin() + static_cast<int64_t>(g.offsets_[u + 1]);
-    std::sort(begin, end,
+    std::sort(scratch.begin() + static_cast<int64_t>(g.offsets_[u]),
+              scratch.begin() + static_cast<int64_t>(g.offsets_[u + 1]),
               [](const Neighbor& a, const Neighbor& b) { return a.to < b.to; });
-    for (uint64_t i = g.offsets_[u]; i < g.offsets_[u + 1]; ++i) {
-      g.targets_[i] = g.adj_[i].to;
+  }
+  g.adj_targets_.resize(directed);
+  g.adj_neg_words_.assign((directed + 63) / 64, 0);
+  for (uint64_t e = 0; e < directed; ++e) {
+    g.adj_targets_[e] = scratch[e].to;
+    if (scratch[e].sign == Sign::kNegative) {
+      g.adj_neg_words_[e >> 6] |= 1ull << (e & 63);
     }
   }
   return g;

@@ -7,12 +7,12 @@ namespace tfsn {
 
 std::optional<Sign> SignedGraph::EdgeSign(NodeId u, NodeId v) const {
   if (u >= num_nodes() || v >= num_nodes()) return std::nullopt;
-  auto nbrs = Neighbors(u);
-  auto it = std::lower_bound(
-      nbrs.begin(), nbrs.end(), v,
-      [](const Neighbor& nb, NodeId target) { return nb.to < target; });
-  if (it == nbrs.end() || it->to != v) return std::nullopt;
-  return it->sign;
+  const uint32_t* begin = adj_targets_.data() + offsets_[u];
+  const uint32_t* end = adj_targets_.data() + offsets_[u + 1];
+  const uint32_t* it = std::lower_bound(begin, end, v);
+  if (it == end || *it != v) return std::nullopt;
+  const uint64_t e = offsets_[u] + static_cast<uint64_t>(it - begin);
+  return EdgeNegative(e) ? Sign::kNegative : Sign::kPositive;
 }
 
 std::vector<SignedEdge> SignedGraph::Edges() const {

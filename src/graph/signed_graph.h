@@ -1,14 +1,27 @@
-// SignedGraph: immutable undirected signed graph in CSR layout.
+// SignedGraph: immutable undirected signed graph in a compact
+// struct-of-arrays CSR layout.
 //
 // This is the substrate of the whole library (paper Section 2): nodes are
-// individuals, edges carry a +1 (friend) or -1 (foe) label. The graph is
-// stored as a compressed sparse row structure with per-neighbour signs;
-// adjacency lists are sorted by target id so edge-sign lookup is a binary
-// search.
+// individuals, edges carry a +1 (friend) or -1 (foe) label. Adjacency is
+// stored as two parallel structures per directed edge slot — a 4-byte
+// neighbour id and one sign bit in a packed bitset (bit set = negative) —
+// so a directed edge costs 4 bytes + 1 bit instead of the 12 bytes of the
+// former padded {id, sign} array-of-structs plus its redundant target
+// mirror. The compact layout roughly triples the adjacency that fits in
+// cache, which is what both the scalar and the bit-parallel multi-source
+// traversals (src/compat/ms_signed_bfs.h) are bound by. Adjacency lists
+// are sorted by target id so edge-sign lookup is a binary search.
+//
+// Neighbors(u) returns a lightweight proxy range whose iterators
+// materialize Neighbor values on the fly, so traversal code keeps the
+// familiar `for (const Neighbor& nb : g.Neighbors(u))` shape; kernels that
+// want the raw arrays use offsets()/adjacency_targets()/EdgeNegative().
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <optional>
 #include <span>
 #include <string>
@@ -43,6 +56,7 @@ inline Sign Negate(Sign s) {
 }
 
 /// One endpoint of an adjacency entry: the neighbour and the edge sign.
+/// Materialized on the fly by NeighborRange; not the storage format.
 struct Neighbor {
   NodeId to;
   Sign sign;
@@ -59,6 +73,91 @@ struct SignedEdge {
   bool operator==(const SignedEdge&) const = default;
 };
 
+/// Proxy view over one node's adjacency in the SoA CSR: targets come from
+/// the packed id array, signs from the packed bitset. Iterators yield
+/// Neighbor values (not references); the range is valid as long as the
+/// graph it came from.
+class NeighborRange {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = Neighbor;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = Neighbor;
+
+    iterator() = default;
+
+    Neighbor operator*() const { return Make(index_); }
+    Neighbor operator[](difference_type k) const {
+      return Make(index_ + static_cast<uint64_t>(k));
+    }
+
+    iterator& operator++() { ++index_; return *this; }
+    iterator operator++(int) { iterator t = *this; ++index_; return t; }
+    iterator& operator--() { --index_; return *this; }
+    iterator operator--(int) { iterator t = *this; --index_; return t; }
+    iterator& operator+=(difference_type k) {
+      index_ += static_cast<uint64_t>(k);
+      return *this;
+    }
+    iterator& operator-=(difference_type k) {
+      index_ -= static_cast<uint64_t>(k);
+      return *this;
+    }
+    friend iterator operator+(iterator it, difference_type k) { return it += k; }
+    friend iterator operator+(difference_type k, iterator it) { return it += k; }
+    friend iterator operator-(iterator it, difference_type k) { return it -= k; }
+    friend difference_type operator-(const iterator& a, const iterator& b) {
+      return static_cast<difference_type>(a.index_) -
+             static_cast<difference_type>(b.index_);
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.index_ == b.index_;
+    }
+    friend auto operator<=>(const iterator& a, const iterator& b) {
+      return a.index_ <=> b.index_;
+    }
+
+   private:
+    friend class NeighborRange;
+    iterator(const uint32_t* targets, const uint64_t* neg_words,
+             uint64_t index)
+        : targets_(targets), neg_words_(neg_words), index_(index) {}
+
+    Neighbor Make(uint64_t e) const {
+      const bool neg = (neg_words_[e >> 6] >> (e & 63)) & 1;
+      return {targets_[e], neg ? Sign::kNegative : Sign::kPositive};
+    }
+
+    const uint32_t* targets_ = nullptr;
+    const uint64_t* neg_words_ = nullptr;
+    uint64_t index_ = 0;  // absolute directed-edge index
+  };
+
+  using value_type = Neighbor;
+  using const_iterator = iterator;
+
+  NeighborRange(const uint32_t* targets, const uint64_t* neg_words,
+                uint64_t begin, uint64_t end)
+      : targets_(targets), neg_words_(neg_words), begin_(begin), end_(end) {}
+
+  iterator begin() const { return {targets_, neg_words_, begin_}; }
+  iterator end() const { return {targets_, neg_words_, end_}; }
+  size_t size() const { return static_cast<size_t>(end_ - begin_); }
+  bool empty() const { return begin_ == end_; }
+  Neighbor operator[](size_t i) const { return begin()[static_cast<std::ptrdiff_t>(i)]; }
+  Neighbor front() const { return (*this)[0]; }
+  Neighbor back() const { return (*this)[size() - 1]; }
+
+ private:
+  const uint32_t* targets_;
+  const uint64_t* neg_words_;
+  uint64_t begin_;
+  uint64_t end_;
+};
+
 /// Immutable undirected signed graph.
 ///
 /// Construct via SignedGraphBuilder (graph_builder.h) or the generators in
@@ -71,7 +170,7 @@ class SignedGraph {
   uint32_t num_nodes() const { return static_cast<uint32_t>(offsets_.size()) - 1; }
 
   /// Number of undirected edges m.
-  uint64_t num_edges() const { return targets_.size() / 2; }
+  uint64_t num_edges() const { return adj_targets_.size() / 2; }
 
   /// Number of undirected negative edges.
   uint64_t num_negative_edges() const { return num_negative_; }
@@ -91,9 +190,31 @@ class SignedGraph {
     return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
   }
 
-  /// Adjacency list of u, sorted by neighbour id.
-  std::span<const Neighbor> Neighbors(NodeId u) const {
-    return {adj_.data() + offsets_[u], adj_.data() + offsets_[u + 1]};
+  /// Adjacency list of u, sorted by neighbour id (proxy view; see
+  /// NeighborRange).
+  NeighborRange Neighbors(NodeId u) const {
+    return {adj_targets_.data(), adj_neg_words_.data(), offsets_[u],
+            offsets_[u + 1]};
+  }
+
+  // Raw SoA accessors for traversal kernels (src/graph/bfs.cc,
+  // src/compat/ms_signed_bfs.cc): adjacency_targets()[e] is the head of
+  // directed edge slot e, EdgeNegative(e) its sign bit, and slots
+  // [offsets()[u], offsets()[u+1]) belong to node u.
+  std::span<const uint64_t> offsets() const { return offsets_; }
+  std::span<const uint32_t> adjacency_targets() const { return adj_targets_; }
+  std::span<const uint64_t> adjacency_sign_words() const {
+    return adj_neg_words_;
+  }
+  bool EdgeNegative(uint64_t e) const {
+    return (adj_neg_words_[e >> 6] >> (e & 63)) & 1;
+  }
+
+  /// Heap bytes of the adjacency arrays (targets + packed signs, excluding
+  /// the per-node offsets): ~4.125 bytes per directed edge.
+  size_t AdjacencyBytes() const {
+    return adj_targets_.size() * sizeof(uint32_t) +
+           adj_neg_words_.size() * sizeof(uint64_t);
   }
 
   /// Sign of edge (u,v), or nullopt if the edge does not exist.
@@ -116,10 +237,12 @@ class SignedGraph {
  private:
   friend class SignedGraphBuilder;
 
-  // CSR: adj_[offsets_[u] .. offsets_[u+1]) are u's neighbours, sorted by id.
+  // SoA CSR: adj_targets_[offsets_[u] .. offsets_[u+1]) are u's neighbour
+  // ids, sorted; adj_neg_words_ packs one sign bit per directed edge slot
+  // (set = negative).
   std::vector<uint64_t> offsets_{0};
-  std::vector<Neighbor> adj_;
-  std::vector<NodeId> targets_;  // parallel to adj_ (kept for cheap edge scans)
+  std::vector<uint32_t> adj_targets_;
+  std::vector<uint64_t> adj_neg_words_;
   uint64_t num_negative_ = 0;
 };
 

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "src/gen/generators.h"
 #include "src/graph/graph_builder.h"
 #include "src/graph/graph_io.h"
 #include "src/graph/transform.h"
+#include "src/util/rng.h"
 
 namespace tfsn {
 namespace {
@@ -57,6 +61,54 @@ TEST(SignedGraphTest, DegreeAndIsolatedNode) {
   EXPECT_EQ(g.Degree(0), 1u);
   EXPECT_EQ(g.Degree(3), 0u);
   EXPECT_TRUE(g.Neighbors(3).empty());
+}
+
+TEST(SignedGraphTest, SoaAdjacencyStaysUnderFiveBytesPerDirectedEdge) {
+  // The compact SoA CSR stores a directed edge as a 4-byte target id plus
+  // one packed sign bit — versus the former 12 bytes (8-byte padded
+  // {id, sign} Neighbor plus a redundant 4-byte target mirror).
+  Rng rng(7);
+  SignedGraph g = RandomConnectedGnm(500, 2000, 0.3, &rng);
+  const uint64_t directed = 2 * g.num_edges();
+  EXPECT_LE(g.AdjacencyBytes(), 5 * directed);
+  // Exact accounting: targets array + sign bitset words.
+  EXPECT_EQ(g.AdjacencyBytes(),
+            directed * sizeof(uint32_t) + ((directed + 63) / 64) * 8);
+  static_assert(sizeof(Neighbor) == 8, "padded AoS entry the SoA replaces");
+}
+
+TEST(SignedGraphTest, SignBitsetMatchesEdgeSigns) {
+  Rng rng(9);
+  SignedGraph g = RandomConnectedGnm(120, 400, 0.4, &rng);
+  auto offsets = g.offsets();
+  auto targets = g.adjacency_targets();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (uint64_t e = offsets[u]; e < offsets[u + 1]; ++e) {
+      Sign expected = g.EdgeNegative(e) ? Sign::kNegative : Sign::kPositive;
+      EXPECT_EQ(g.EdgeSign(u, targets[e]), expected);
+    }
+  }
+}
+
+TEST(SignedGraphTest, NeighborRangeIsRandomAccess) {
+  SignedGraphBuilder b(6);
+  b.AddEdge(0, 5, Sign::kNegative).CheckOK();
+  b.AddEdge(0, 2, Sign::kPositive).CheckOK();
+  b.AddEdge(0, 4, Sign::kNegative).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  NeighborRange nbrs = g.Neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs.front().to, 2u);
+  EXPECT_EQ(nbrs.back().to, 5u);
+  EXPECT_EQ(nbrs.end() - nbrs.begin(), 3);
+  EXPECT_EQ((*(nbrs.begin() + 1)).sign, Sign::kNegative);
+  // Binary search through the proxy iterators (the EdgeSign idiom).
+  auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), NodeId{4},
+      [](const Neighbor& nb, NodeId target) { return nb.to < target; });
+  ASSERT_NE(it, nbrs.end());
+  EXPECT_EQ((*it).to, 4u);
+  EXPECT_EQ((*it).sign, Sign::kNegative);
 }
 
 TEST(SignedGraphTest, EdgesCanonicalOrder) {

@@ -1,0 +1,226 @@
+// Bit-parallel multi-source signed BFS (ms_signed_bfs.h) vs the scalar row
+// kernels: randomized equivalence on Erdős–Rényi and generator-family
+// graphs across batch sizes (1, 63, 64, and >64 through the oracle's block
+// grouping), ragged tails (n < 64), distance equality, and the
+// saturation-flag semantics of batched rows.
+
+#include "src/compat/ms_signed_bfs.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/compat/compatibility.h"
+#include "src/compat/row_kernels.h"
+#include "src/gen/generators.h"
+#include "src/graph/bfs.h"
+#include "src/graph/graph_builder.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+namespace {
+
+constexpr CompatKind kBatchKinds[] = {CompatKind::kSPA, CompatKind::kSPO,
+                                      CompatKind::kDPE, CompatKind::kNNE};
+
+void ExpectRowsEqual(const CompatRow& batched, const CompatRow& scalar,
+                     CompatKind kind, NodeId q) {
+  EXPECT_EQ(batched.comp, scalar.comp)
+      << CompatKindName(kind) << " comp mismatch, source " << q;
+  EXPECT_EQ(batched.dist, scalar.dist)
+      << CompatKindName(kind) << " dist mismatch, source " << q;
+}
+
+// Compares one block against per-source scalar kernel rows.
+void CheckBlock(const SignedGraph& g, CompatKind kind,
+                const std::vector<NodeId>& sources) {
+  RowKernelParams params;
+  auto rows = ComputeCompatRowBlock(g, kind, sources);
+  ASSERT_EQ(rows.size(), sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    CompatRow scalar = ComputeCompatRow(g, kind, params, sources[i]);
+    ExpectRowsEqual(rows[i], scalar, kind, sources[i]);
+  }
+}
+
+std::vector<NodeId> SampleSources(const SignedGraph& g, size_t count,
+                                  Rng* rng) {
+  std::vector<NodeId> sources;
+  sources.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    sources.push_back(static_cast<NodeId>(rng->NextBounded(g.num_nodes())));
+  }
+  return sources;
+}
+
+TEST(MsSignedBfsTest, SupportsExistenceKindsOnly) {
+  EXPECT_TRUE(MsBfsSupportsKind(CompatKind::kSPA));
+  EXPECT_TRUE(MsBfsSupportsKind(CompatKind::kSPO));
+  EXPECT_TRUE(MsBfsSupportsKind(CompatKind::kDPE));
+  EXPECT_TRUE(MsBfsSupportsKind(CompatKind::kNNE));
+  EXPECT_FALSE(MsBfsSupportsKind(CompatKind::kSPM));
+  EXPECT_FALSE(MsBfsSupportsKind(CompatKind::kSBPH));
+  EXPECT_FALSE(MsBfsSupportsKind(CompatKind::kSBP));
+}
+
+TEST(MsSignedBfsTest, MatchesScalarOnErdosRenyiAcrossBatchSizes) {
+  Rng graph_rng(11);
+  SignedGraph g = RandomConnectedGnm(180, 540, 0.3, &graph_rng);
+  Rng rng(12);
+  for (size_t batch : {size_t{1}, size_t{2}, size_t{63}, size_t{64}}) {
+    for (CompatKind kind : kBatchKinds) {
+      CheckBlock(g, kind, SampleSources(g, batch, &rng));
+    }
+  }
+}
+
+TEST(MsSignedBfsTest, MatchesScalarOnGeneratorFamilies) {
+  Rng rng(21);
+  std::vector<SignedGraph> graphs;
+  graphs.push_back(RandomPreferentialAttachment(150, 600, 0.25, &rng));
+  graphs.push_back(PlantedPartitionSigned(120, 360, 0.1, &rng));
+  graphs.push_back(SmallWorldSigned(140, 6, 0.2, 0.35, &rng));
+  for (const SignedGraph& g : graphs) {
+    for (CompatKind kind : kBatchKinds) {
+      CheckBlock(g, kind, SampleSources(g, 64, &rng));
+    }
+  }
+}
+
+TEST(MsSignedBfsTest, RaggedTailSmallerThanWord) {
+  // n < 64: every node is a source, the lane word is only partly used.
+  Rng rng(31);
+  SignedGraph g = RandomConnectedGnm(23, 60, 0.4, &rng);
+  std::vector<NodeId> all(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) all[u] = u;
+  for (CompatKind kind : kBatchKinds) CheckBlock(g, kind, all);
+}
+
+TEST(MsSignedBfsTest, DuplicateSourcesShareLanesCorrectly) {
+  Rng rng(37);
+  SignedGraph g = RandomConnectedGnm(60, 150, 0.3, &rng);
+  std::vector<NodeId> sources = {7, 7, 0, 59, 7, 0};
+  for (CompatKind kind : kBatchKinds) CheckBlock(g, kind, sources);
+}
+
+TEST(MsSignedBfsTest, DisconnectedComponentsStayUnreachable) {
+  // Two components: sources in one must not reach the other.
+  SignedGraphBuilder b(8);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 2, Sign::kNegative).CheckOK();
+  b.AddEdge(4, 5, Sign::kPositive).CheckOK();
+  b.AddEdge(5, 6, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  std::vector<NodeId> sources = {0, 4, 3};
+  for (CompatKind kind : kBatchKinds) CheckBlock(g, kind, sources);
+  auto rows = ComputeCompatRowBlock(g, CompatKind::kSPA, sources);
+  EXPECT_EQ(rows[0].dist[5], kUnreachable);
+  EXPECT_EQ(rows[1].dist[0], kUnreachable);
+  EXPECT_EQ(rows[2].dist[0], kUnreachable);  // isolated source
+  EXPECT_EQ(rows[2].dist[3], 0u);
+}
+
+TEST(MsSignedBfsTest, DistancesEqualPlainBfsLevels) {
+  // SPA/SPO distances are plain hop distances: signs never change levels.
+  Rng rng(41);
+  SignedGraph g = RandomPreferentialAttachment(200, 900, 0.3, &rng);
+  std::vector<NodeId> sources = SampleSources(g, 64, &rng);
+  auto rows = ComputeCompatRowBlock(g, CompatKind::kSPO, sources);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(rows[i].dist, BfsDistances(g, sources[i])) << sources[i];
+  }
+}
+
+TEST(MsSignedBfsTest, SignFlipPropagation) {
+  // A 4-cycle with one negative edge: both shortest paths 0->2 exist, one
+  // positive and one negative, so SPA rejects and SPO accepts.
+  SignedGraphBuilder b(4);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(1, 2, Sign::kPositive).CheckOK();
+  b.AddEdge(0, 3, Sign::kPositive).CheckOK();
+  b.AddEdge(3, 2, Sign::kNegative).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  std::vector<NodeId> sources = {0};
+  auto spa = ComputeCompatRowBlock(g, CompatKind::kSPA, sources);
+  auto spo = ComputeCompatRowBlock(g, CompatKind::kSPO, sources);
+  EXPECT_EQ(spa[0].comp[2], 0);
+  EXPECT_EQ(spo[0].comp[2], 1);
+  EXPECT_EQ(spa[0].dist[2], 2u);
+  for (CompatKind kind : kBatchKinds) CheckBlock(g, kind, sources);
+}
+
+TEST(MsSignedBfsTest, BatchedRowsNeverSaturate) {
+  // The engine tracks path existence, not counts, so batched rows are
+  // exact and never set the saturated flag — even where the scalar
+  // counting kernel would remain unsaturated too; the flag's semantics
+  // ("a count overflowed") simply cannot trigger.
+  Rng rng(43);
+  SignedGraph g = RandomConnectedGnm(100, 400, 0.3, &rng);
+  std::vector<NodeId> sources = SampleSources(g, 64, &rng);
+  for (CompatKind kind : kBatchKinds) {
+    auto rows = ComputeCompatRowBlock(g, kind, sources);
+    for (const CompatRow& row : rows) EXPECT_FALSE(row.saturated);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle integration: GetRows must group misses into blocks (including the
+// ragged tail beyond 64) and produce rows identical to the scalar path.
+// ---------------------------------------------------------------------------
+
+TEST(MsSignedBfsOracleTest, GetRowsBatchesMatchScalarAt65Sources) {
+  Rng rng(51);
+  SignedGraph g = RandomConnectedGnm(130, 420, 0.3, &rng);
+  RowKernelParams params;
+  for (CompatKind kind : {CompatKind::kSPA, CompatKind::kSPO}) {
+    auto oracle = MakeOracle(g, kind);
+    std::vector<NodeId> sources;
+    for (NodeId u = 0; u < 65; ++u) sources.push_back(u);
+    auto rows = oracle->GetRows(sources, /*threads=*/1);
+    ASSERT_EQ(rows.size(), sources.size());
+    EXPECT_EQ(oracle->rows_computed(), 65u);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      ASSERT_NE(rows[i], nullptr);
+      CompatRow scalar = ComputeCompatRow(g, kind, params, sources[i]);
+      ExpectRowsEqual(*rows[i], scalar, kind, sources[i]);
+    }
+  }
+}
+
+TEST(MsSignedBfsOracleTest, GetRowsBatchSizesOneThrough65) {
+  Rng rng(53);
+  SignedGraph g = RandomConnectedGnm(90, 300, 0.35, &rng);
+  RowKernelParams params;
+  for (size_t batch : {size_t{1}, size_t{63}, size_t{64}, size_t{65}}) {
+    auto oracle = MakeOracle(g, CompatKind::kSPA);
+    Rng pick(100 + batch);
+    std::vector<NodeId> sources = SampleSources(g, batch, &pick);
+    auto rows = oracle->GetRows(sources, /*threads=*/2);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      ASSERT_NE(rows[i], nullptr) << batch;
+      CompatRow scalar =
+          ComputeCompatRow(g, CompatKind::kSPA, params, sources[i]);
+      ExpectRowsEqual(*rows[i], scalar, CompatKind::kSPA, sources[i]);
+    }
+  }
+}
+
+TEST(MsSignedBfsOracleTest, CountBasedKindsKeepScalarPathAndSemantics) {
+  // SPM needs majority counts: GetRows must not route it through the
+  // engine, and results must match the scalar kernel.
+  Rng rng(59);
+  SignedGraph g = RandomConnectedGnm(70, 220, 0.4, &rng);
+  RowKernelParams params;
+  auto oracle = MakeOracle(g, CompatKind::kSPM);
+  std::vector<NodeId> sources;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) sources.push_back(u);
+  auto rows = oracle->GetRows(sources, /*threads=*/2);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    CompatRow scalar = ComputeCompatRow(g, CompatKind::kSPM, params, u);
+    ExpectRowsEqual(*rows[u], scalar, CompatKind::kSPM, u);
+    EXPECT_EQ(rows[u]->saturated, scalar.saturated);
+  }
+}
+
+}  // namespace
+}  // namespace tfsn
