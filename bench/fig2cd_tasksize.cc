@@ -22,6 +22,11 @@ int main(int argc, char** argv) {
   options.index_sample_sources =
       static_cast<uint32_t>(flags.GetInt("index_sources", 200));
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  // Row-production and seed-loop workers (results are thread-count
+  // independent either way).
+  options.threads = static_cast<uint32_t>(flags.GetInt("threads", 1));
+  options.seed_threads =
+      static_cast<uint32_t>(flags.GetInt("seed-threads", 1));
 
   std::vector<uint32_t> task_sizes;
   for (const std::string& k :

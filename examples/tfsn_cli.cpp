@@ -9,7 +9,10 @@
 // Global performance flags: --threads=N computes oracle rows (and the
 // stats diameter sweep) on N workers sharing one row cache (0 = hardware
 // concurrency / TFSN_THREADS); --cache-mb=M bounds that cache's byte
-// budget (default 256).
+// budget (default 256). `team` additionally takes --seed-threads=N to run
+// each formation's seed loop on N workers over the task-local dense view
+// (results are identical for every setting) and --eval-path=auto|view|
+// oracle to pin the evaluation path.
 //
 // Exit codes: 0 success, 1 usage error, 2 no team found.
 
@@ -47,7 +50,9 @@ int Usage() {
                "       [--topk=K]            emit the K best teams\n"
                "  export --out=F             write graph [--skills_out=G]\n"
                "global: --threads=N row-computation workers (0 = auto)\n"
-               "        --cache-mb=M shared row-cache budget (default 256)\n");
+               "        --cache-mb=M shared row-cache budget (default 256)\n"
+               "        --seed-threads=N team seed-loop workers (0 = auto)\n"
+               "        --eval-path=auto|view|oracle team evaluation path\n");
   return 1;
 }
 
@@ -158,6 +163,20 @@ int CmdTeam(const Flags& flags) {
       ds.graph.num_nodes() > 2000 ? 300 : 0, &rng, threads);
   GreedyParams params;
   params.prefetch_threads = threads == 1 ? 0 : ResolveThreads(threads);
+  // Accept both spellings, like --cache-mb / --cache_mb.
+  params.seed_threads = static_cast<uint32_t>(
+      flags.Has("seed_threads") ? flags.GetInt("seed_threads", 1)
+                                : flags.GetInt("seed-threads", 1));
+  std::string path = flags.Has("eval_path") ? flags.GetString("eval_path", "auto")
+                                            : flags.GetString("eval-path", "auto");
+  if (path == "view") {
+    params.eval_path = GreedyEvalPath::kView;
+  } else if (path == "oracle") {
+    params.eval_path = GreedyEvalPath::kOracle;
+  } else if (path != "auto") {
+    std::fprintf(stderr, "unknown eval path '%s'\n", path.c_str());
+    return 1;
+  }
   std::string algorithm = flags.GetString("algorithm", "lcmd");
   if (algorithm == "lcmc") {
     params.user_policy = UserPolicy::kMostCompatible;

@@ -214,6 +214,19 @@ CompatibilityOracle::GetRows(std::span<const NodeId> sources,
   return out;
 }
 
+void CompatibilityOracle::StreamRows(
+    std::span<const NodeId> sources, uint32_t threads,
+    const std::function<void(size_t, const Row&)>& consume, size_t batch) {
+  TFSN_CHECK_GT(batch, size_t{0});
+  for (size_t off = 0; off < sources.size(); off += batch) {
+    const size_t len = std::min(batch, sources.size() - off);
+    auto rows = GetRows(sources.subspan(off, len), threads);
+    for (size_t i = 0; i < len; ++i) consume(off + i, *rows[i]);
+    // `rows` goes out of scope here: the batch's pins are released before
+    // the next fetch, bounding peak pinned memory.
+  }
+}
+
 std::unique_ptr<CompatibilityOracle> MakeOracle(const SignedGraph& g,
                                                 CompatKind kind,
                                                 OracleParams params) {

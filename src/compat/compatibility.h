@@ -21,6 +21,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -122,6 +123,17 @@ class CompatibilityOracle {
   /// the flag stays exact on the always-scalar SPM path, where it matters.
   std::vector<std::shared_ptr<const Row>> GetRows(
       std::span<const NodeId> sources, uint32_t threads = 1);
+
+  /// Streams the rows of `sources` through `consume(i, row)` in source
+  /// order, fetching in fixed-size batches via GetRows: each batch's
+  /// misses are computed in parallel (and cached), then its pins are
+  /// dropped before the next batch, so peak pinned memory stays at `batch`
+  /// rows no matter how many sources are streamed. `consume` runs serially
+  /// on the calling thread. Dense-view builders and cache prewarming use
+  /// this instead of hand-rolling the chunk loop.
+  void StreamRows(std::span<const NodeId> sources, uint32_t threads,
+                  const std::function<void(size_t, const Row&)>& consume,
+                  size_t batch = 128);
 
   /// Number of row computations performed through this oracle (cache
   /// misses it paid for); for tests and perf analysis. Rows computed by

@@ -132,13 +132,16 @@ struct RunningStats {
   }
 };
 
-GreedyParams MakeParams(SkillPolicy sp, UserPolicy up, uint32_t max_seeds,
+GreedyParams MakeParams(SkillPolicy sp, UserPolicy up,
+                        const TeamExperimentOptions& options,
                         uint32_t prefetch_threads) {
   GreedyParams params;
   params.skill_policy = sp;
   params.user_policy = up;
-  params.max_seeds = max_seeds;
+  params.max_seeds = options.max_seeds;
   params.prefetch_threads = prefetch_threads;
+  params.seed_threads = options.seed_threads;
+  params.eval_path = options.eval_path;
   return params;
 }
 
@@ -181,17 +184,27 @@ std::vector<Fig2abRow> RunFig2ab(const Dataset& ds,
                                   options.threads);
     // MAX bound: tasks whose skill pairs are all compatible, checked
     // exactly over holder pairs (the sampled index would undercount).
+    // Evaluated through the task-local dense view when the formers use
+    // it, so the view's batch-prewarmed rows are shared; the oracle
+    // overload gives the bit-identical verdict otherwise.
     uint32_t max_ok = 0;
     for (const Task& task : tasks) {
-      max_ok += TaskSkillsCompatibleExact(oracle.get(), ds.skills, task);
+      std::unique_ptr<TaskCompatView> view;
+      if (options.eval_path != GreedyEvalPath::kOracle) {
+        view = TaskCompatView::Build(oracle.get(), ds.skills, task,
+                                     options.threads);
+      }
+      max_ok += view != nullptr
+                    ? TaskSkillsCompatibleExact(*view)
+                    : TaskSkillsCompatibleExact(oracle.get(), ds.skills, task);
     }
     row.max_bound_pct = 100.0 * max_ok / tasks.size();
 
     for (const auto& [name, user_policy] : algorithms) {
       GreedyTeamFormer former(
           oracle.get(), ds.skills, &index,
-          MakeParams(SkillPolicy::kLeastCompatible, user_policy,
-                     options.max_seeds, prefetch));
+          MakeParams(SkillPolicy::kLeastCompatible, user_policy, options,
+                     prefetch));
       RunningStats stats;
       Rng run_rng(options.seed + 101);
       for (const Task& task : tasks) {
@@ -221,7 +234,7 @@ std::vector<Fig2cdPoint> RunFig2cd(const Dataset& ds,
     GreedyTeamFormer former(
         oracle.get(), ds.skills, &index,
         MakeParams(SkillPolicy::kLeastCompatible, UserPolicy::kMinDistance,
-                   options.max_seeds, prefetch));
+                   options, prefetch));
     for (uint32_t k : task_sizes) {
       Rng task_rng(options.seed + k);  // same tasks for every relation
       std::vector<Task> tasks =

@@ -20,6 +20,19 @@ uint32_t TeamDiameter(CompatibilityOracle* oracle,
   return diameter;
 }
 
+uint32_t TeamDiameter(const TaskCompatView& view,
+                      std::span<const uint32_t> team_local) {
+  uint32_t diameter = 0;
+  for (size_t i = 0; i < team_local.size(); ++i) {
+    for (size_t j = i + 1; j < team_local.size(); ++j) {
+      const uint32_t d = view.PairDistance(team_local[i], team_local[j]);
+      if (d == kUnreachable) return kUnreachable;
+      diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
 const char* CostKindName(CostKind kind) {
   switch (kind) {
     case CostKind::kDiameter: return "Diameter";
@@ -71,11 +84,63 @@ uint64_t TeamCost(CompatibilityOracle* oracle, std::span<const NodeId> team,
   return kInfinite;
 }
 
+uint64_t TeamCost(const TaskCompatView& view,
+                  std::span<const uint32_t> team_local, CostKind kind) {
+  constexpr uint64_t kInfinite = std::numeric_limits<uint64_t>::max();
+  if (team_local.size() <= 1) return 0;
+  switch (kind) {
+    case CostKind::kDiameter: {
+      const uint32_t d = TeamDiameter(view, team_local);
+      return d == kUnreachable ? kInfinite : d;
+    }
+    case CostKind::kSumOfPairs: {
+      uint64_t sum = 0;
+      for (size_t i = 0; i < team_local.size(); ++i) {
+        for (size_t j = i + 1; j < team_local.size(); ++j) {
+          const uint32_t d = view.PairDistance(team_local[i], team_local[j]);
+          if (d == kUnreachable) return kInfinite;
+          sum += d;
+        }
+      }
+      return sum;
+    }
+    case CostKind::kCenterStar: {
+      uint64_t best = kInfinite;
+      for (size_t c = 0; c < team_local.size(); ++c) {
+        uint64_t star = 0;
+        bool ok = true;
+        for (size_t i = 0; i < team_local.size(); ++i) {
+          if (i == c) continue;
+          const uint32_t d = view.PairDistance(team_local[c], team_local[i]);
+          if (d == kUnreachable) {
+            ok = false;
+            break;
+          }
+          star += d;
+        }
+        if (ok) best = std::min(best, star);
+      }
+      return best;
+    }
+  }
+  return kInfinite;
+}
+
 bool TeamCompatible(CompatibilityOracle* oracle,
                     std::span<const NodeId> team) {
   for (size_t i = 0; i < team.size(); ++i) {
     for (size_t j = i + 1; j < team.size(); ++j) {
       if (!oracle->Compatible(team[i], team[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool TeamCompatible(const TaskCompatView& view,
+                    std::span<const uint32_t> team_local) {
+  for (size_t i = 0; i < team_local.size(); ++i) {
+    for (size_t j = i + 1; j < team_local.size(); ++j) {
+      if (!view.PairCompatible(team_local[i], team_local[j])) return false;
     }
   }
   return true;

@@ -10,6 +10,7 @@
 
 #include "src/compat/compatibility.h"
 #include "src/skills/skills.h"
+#include "src/team/task_view.h"
 
 namespace tfsn {
 
@@ -17,6 +18,12 @@ namespace tfsn {
 /// kUnreachable if any pair has no finite relation distance.
 uint32_t TeamDiameter(CompatibilityOracle* oracle,
                       std::span<const NodeId> team);
+
+/// Dense-view variant: `team_local` holds view-local ids. Returns exactly
+/// what the oracle overload returns for the corresponding global ids —
+/// the view stores the same distances, uint16-packed.
+uint32_t TeamDiameter(const TaskCompatView& view,
+                      std::span<const uint32_t> team_local);
 
 /// Alternative communication-cost objectives (the paper's future work asks
 /// for "different ways to combine compatibility and communication cost").
@@ -38,9 +45,18 @@ const char* CostKindName(CostKind kind);
 uint64_t TeamCost(CompatibilityOracle* oracle, std::span<const NodeId> team,
                   CostKind kind);
 
+/// Dense-view variant of TeamCost; bit-identical to the oracle overload.
+uint64_t TeamCost(const TaskCompatView& view,
+                  std::span<const uint32_t> team_local, CostKind kind);
+
 /// True iff every pair of members is compatible (requirement (2) of
 /// Definition 2.1). Vacuously true for teams of size <= 1.
 bool TeamCompatible(CompatibilityOracle* oracle, std::span<const NodeId> team);
+
+/// Dense-view variant of TeamCompatible; bit-identical to the oracle
+/// overload (including the SBPH symmetric closure).
+bool TeamCompatible(const TaskCompatView& view,
+                    std::span<const uint32_t> team_local);
 
 /// True iff the members collectively cover the task (requirement (1)).
 bool TeamCoversTask(const SkillAssignment& skills, const Task& task,

@@ -1,13 +1,30 @@
 #include "src/team/greedy.h"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
 #include <span>
 
 #include "src/graph/bfs.h"
 #include "src/team/cost.h"
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 
 namespace tfsn {
+
+namespace {
+
+constexpr uint64_t kInfiniteCost = std::numeric_limits<uint64_t>::max();
+
+// Maps a team diameter to the kDiameter objective exactly as TeamCost
+// does, so candidate evaluation computes the pairwise sweep once and
+// derives the objective from it (instead of recomputing the full diameter
+// a second time through TeamCost).
+uint64_t ObjectiveFromDiameter(uint32_t diameter) {
+  return diameter == kUnreachable ? kInfiniteCost : diameter;
+}
+
+}  // namespace
 
 const char* SkillPolicyName(SkillPolicy p) {
   switch (p) {
@@ -138,36 +155,206 @@ NodeId GreedyTeamFormer::SelectUser(SkillId skill,
   return kInvalidNode;
 }
 
+uint32_t GreedyTeamFormer::SelectUserView(
+    const TaskCompatView& view, SkillId skill,
+    const std::vector<uint32_t>& team,
+    const std::vector<SkillId>& uncovered_after, Rng* rng,
+    ViewScratch* scratch) const {
+  const size_t words = view.words();
+  // "Compatible with the whole team" is an AND-fold of 64-bit words: the
+  // holder mask of `skill` intersected with every team member's pair row,
+  // minus the team itself. Bit order is global-id order, so the candidate
+  // list matches the oracle path's holder scan exactly.
+  auto holder_mask = view.HolderMask(view.TaskSkillPos(skill));
+  scratch->cand_mask.assign(holder_mask.begin(), holder_mask.end());
+  for (uint32_t x : team) {
+    auto row = view.PairRow(x);
+    for (size_t w = 0; w < words; ++w) scratch->cand_mask[w] &= row[w];
+  }
+  for (uint32_t x : team) {
+    scratch->cand_mask[x >> 6] &= ~(uint64_t{1} << (x & 63));
+  }
+  scratch->candidates.clear();
+  AppendSetBits(scratch->cand_mask, &scratch->candidates);
+  if (scratch->candidates.empty()) return kNoLocalId;
+  const auto& candidates = scratch->candidates;
+
+  switch (params_.user_policy) {
+    case UserPolicy::kMinDistance: {
+      // Dense uint16 loads with the oracle loop's candidate-level early
+      // break (a pure pruning: the partial max only ever loses a failing
+      // comparison). First-strict-minimum in ascending candidate order —
+      // the same winner as the oracle path.
+      const bool sbph = view.kind() == CompatKind::kSBPH;
+      uint32_t best = kNoLocalId;
+      uint64_t best_score = ~0ULL;
+      for (uint32_t v : candidates) {
+        uint32_t worst = 0;
+        for (uint32_t x : team) {
+          const uint16_t packed =
+              sbph ? std::min(view.DistRow(x)[v], view.DistRow(v)[x])
+                   : view.DistRow(x)[v];
+          worst = std::max(worst, TaskCompatView::Widen(packed));
+          if (worst >= best_score) break;
+        }
+        if (worst < best_score) {
+          best_score = worst;
+          best = v;
+        }
+      }
+      return best;
+    }
+    case UserPolicy::kMostCompatible: {
+      // The future-holder pool is an OR of precomputed per-skill holder
+      // masks — no per-step concatenation, sort, or dedup (the view owns
+      // the holder universe). Thinning replicates the oracle path's
+      // arithmetic; local-id order equals global-id order, so the thinned
+      // subset is identical.
+      scratch->pool_mask.assign(words, 0);
+      for (SkillId t : uncovered_after) {
+        auto mask = view.HolderMask(view.TaskSkillPos(t));
+        for (size_t w = 0; w < words; ++w) scratch->pool_mask[w] |= mask[w];
+      }
+      const uint64_t pool_size = CountSetBits(scratch->pool_mask);
+      if (params_.most_compatible_pool_cap > 0 &&
+          pool_size > params_.most_compatible_pool_cap) {
+        // Evenly spaced thinning by rank-select on the mask: the selected
+        // ranks floor(i * step) are exactly the elements the oracle path
+        // picks from its sorted pool vector, without materializing it.
+        const uint32_t cap = params_.most_compatible_pool_cap;
+        const double step = static_cast<double>(pool_size) / cap;
+        scratch->pool.clear();
+        uint32_t i = 0;
+        uint64_t rank = 0;  // set bits before the current word
+        for (size_t w = 0; w < words && i < cap; ++w) {
+          uint64_t bits = scratch->pool_mask[w];
+          const uint64_t count = static_cast<uint64_t>(std::popcount(bits));
+          uint64_t consumed = 0;  // bits cleared from this word so far
+          while (i < cap) {
+            const uint64_t target = static_cast<uint64_t>(
+                static_cast<uint32_t>(i) * step);
+            if (target >= rank + count) break;
+            // Drop set bits below the target rank, then take the lowest.
+            for (; rank + consumed < target; ++consumed) bits &= bits - 1;
+            scratch->pool.push_back(
+                static_cast<uint32_t>(w * 64 + std::countr_zero(bits)));
+            ++i;
+          }
+          rank += count;
+        }
+        std::fill(scratch->pool_mask.begin(), scratch->pool_mask.end(), 0);
+        for (uint32_t v : scratch->pool) {
+          scratch->pool_mask[v >> 6] |= uint64_t{1} << (v & 63);
+        }
+      }
+      uint32_t best = kNoLocalId;
+      int64_t best_score = -1;
+      for (uint32_t v : candidates) {
+        auto row = view.DirRow(v);
+        int64_t score = 0;
+        for (size_t w = 0; w < words; ++w) {
+          score += std::popcount(row[w] & scratch->pool_mask[w]);
+        }
+        if (score > best_score) {
+          best_score = score;
+          best = v;
+        }
+      }
+      return best;
+    }
+    case UserPolicy::kRandom: {
+      TFSN_CHECK(rng != nullptr);
+      return candidates[rng->NextBounded(candidates.size())];
+    }
+  }
+  return kNoLocalId;
+}
+
+bool GreedyTeamFormer::ViewWorthBuilding(const Task& task, size_t num_seeds,
+                                         size_t universe_size) const {
+  // The view costs ~m row-cache probes to prewarm (m = holder-universe
+  // size) plus lazy per-row gathers; the oracle seed loop costs up to
+  // seeds × Σ_s |holders(s)| row lookups, each a shard-mutex hash probe
+  // plus a full-row dereference — but failing seeds stop early, so the
+  // upper bound overshoots small instances badly. Requiring the estimated
+  // loop work to reach the quadratic regime (a constant fraction of m^2)
+  // empirically separates "trivial task, oracle wins" from "dense task,
+  // view wins"; either choice returns bit-identical results.
+  uint64_t sum_holders = 0;
+  for (SkillId s : task.skills()) sum_holders += skills_.Frequency(s);
+  const uint64_t m = universe_size;
+  const uint64_t est_lookups = static_cast<uint64_t>(num_seeds) * sum_holders;
+  return est_lookups * 4 >= m * m;
+}
+
+TeamResult GreedyTeamFormer::CompleteSeedOracle(const Task& task, NodeId seed,
+                                                Rng* rng) {
+  TeamResult candidate;
+  std::vector<NodeId> team{seed};
+  SkillCoverage coverage(task);
+  coverage.Cover(skills_.SkillsOf(seed));
+  while (!coverage.AllCovered()) {
+    std::vector<SkillId> uncovered = coverage.Uncovered();
+    SkillId s = SelectSkill(uncovered);  // line 8
+    // Skills still uncovered after s is handled; used by kMostCompatible.
+    std::vector<SkillId> rest;
+    for (SkillId t : uncovered) {
+      if (t != s) rest.push_back(t);
+    }
+    NodeId v = SelectUser(s, team, rest, rng);  // lines 9-10
+    if (v == kInvalidNode) return candidate;
+    team.push_back(v);
+    coverage.Cover(skills_.SkillsOf(v));
+  }
+  candidate.found = true;
+  std::sort(team.begin(), team.end());
+  candidate.cost = TeamDiameter(oracle_, team);
+  candidate.objective = params_.cost_kind == CostKind::kDiameter
+                            ? ObjectiveFromDiameter(candidate.cost)
+                            : TeamCost(oracle_, team, params_.cost_kind);
+  candidate.members = std::move(team);
+  return candidate;
+}
+
+TeamResult GreedyTeamFormer::CompleteSeedView(const TaskCompatView& view,
+                                              const Task& task,
+                                              uint32_t seed_local,
+                                              Rng* rng) const {
+  TeamResult candidate;
+  ViewScratch scratch;
+  std::vector<uint32_t> team{seed_local};
+  SkillCoverage coverage(task);
+  coverage.Cover(skills_.SkillsOf(view.GlobalOf(seed_local)));
+  while (!coverage.AllCovered()) {
+    std::vector<SkillId> uncovered = coverage.Uncovered();
+    SkillId s = SelectSkill(uncovered);
+    std::vector<SkillId> rest;
+    for (SkillId t : uncovered) {
+      if (t != s) rest.push_back(t);
+    }
+    const uint32_t v = SelectUserView(view, s, team, rest, rng, &scratch);
+    if (v == kNoLocalId) return candidate;
+    team.push_back(v);
+    coverage.Cover(skills_.SkillsOf(view.GlobalOf(v)));
+  }
+  candidate.found = true;
+  // Local ids ascend with global ids, so this sort yields the same member
+  // order as the oracle path's sort of global ids.
+  std::sort(team.begin(), team.end());
+  candidate.cost = TeamDiameter(view, team);
+  candidate.objective = params_.cost_kind == CostKind::kDiameter
+                            ? ObjectiveFromDiameter(candidate.cost)
+                            : TeamCost(view, team, params_.cost_kind);
+  candidate.members.reserve(team.size());
+  for (uint32_t local : team) candidate.members.push_back(view.GlobalOf(local));
+  return candidate;
+}
+
 // Runs the seed loop of Algorithm 2 and collects every successful candidate
 // team into `sink` (members sorted, costs evaluated). Returns (seeds tried,
 // seeds succeeded).
 std::pair<uint32_t, uint32_t> GreedyTeamFormer::EnumerateCandidates(
     const Task& task, Rng* rng, std::vector<TeamResult>* sink) {
-  // Warm the row cache for the task's whole row working set — every
-  // candidate the seed loop can touch holds one of the task's skills — so
-  // the misses are computed by parallel workers instead of serially on
-  // first use.
-  if (params_.prefetch_threads > 0) {
-    std::vector<NodeId> holders;
-    for (SkillId s : task.skills()) {
-      auto hs = skills_.Holders(s);
-      holders.insert(holders.end(), hs.begin(), hs.end());
-    }
-    std::sort(holders.begin(), holders.end());
-    holders.erase(std::unique(holders.begin(), holders.end()), holders.end());
-    // Chunked like the skill-index build: each batch's pins are dropped
-    // before the next, bounding peak pinned memory at kPrefetchBatch rows
-    // while the rows themselves land in the cache.
-    constexpr size_t kPrefetchBatch = 128;
-    for (size_t off = 0; off < holders.size(); off += kPrefetchBatch) {
-      oracle_->GetRows(
-          std::span<const NodeId>(holders.data() + off,
-                                  std::min(kPrefetchBatch,
-                                           holders.size() - off)),
-          params_.prefetch_threads);
-    }
-  }
-
   // Initial skill (line 3) over the whole task.
   std::vector<SkillId> all_skills(task.skills().begin(), task.skills().end());
   SkillId first = SelectSkill(all_skills);
@@ -186,40 +373,88 @@ std::pair<uint32_t, uint32_t> GreedyTeamFormer::EnumerateCandidates(
     seeds.swap(sampled);
   }
 
-  uint32_t tried = 0, succeeded = 0;
-  for (NodeId seed : seeds) {
-    ++tried;
-    std::vector<NodeId> team{seed};
-    SkillCoverage coverage(task);
-    coverage.Cover(skills_.SkillsOf(seed));
-    bool failed = false;
-    while (!coverage.AllCovered()) {
-      std::vector<SkillId> uncovered = coverage.Uncovered();
-      SkillId s = SelectSkill(uncovered);  // line 8
-      // Skills still uncovered after s is handled; used by kMostCompatible.
-      std::vector<SkillId> rest;
-      for (SkillId t : uncovered) {
-        if (t != s) rest.push_back(t);
-      }
-      NodeId v = SelectUser(s, team, rest, rng);  // lines 9-10
-      if (v == kInvalidNode) {
-        failed = true;
-        break;
-      }
-      team.push_back(v);
-      coverage.Cover(skills_.SkillsOf(v));
+  // The task's holder universe — every candidate the seed loop can touch
+  // holds one of the task's skills. Computed once and shared by the
+  // build-worthiness estimate, the view build, and the oracle-path cache
+  // prewarm.
+  std::vector<NodeId> universe;
+  const bool need_universe = params_.eval_path != GreedyEvalPath::kOracle ||
+                             params_.prefetch_threads > 0;
+  if (need_universe) {
+    for (SkillId s : task.skills()) {
+      auto hs = skills_.Holders(s);
+      universe.insert(universe.end(), hs.begin(), hs.end());
     }
-    if (failed) continue;
-    ++succeeded;
-    TeamResult candidate;
-    candidate.found = true;
-    std::sort(team.begin(), team.end());
-    candidate.cost = TeamDiameter(oracle_, team);
-    candidate.objective = TeamCost(oracle_, team, params_.cost_kind);
-    candidate.members = std::move(team);
-    sink->push_back(std::move(candidate));
+    std::sort(universe.begin(), universe.end());
+    universe.erase(std::unique(universe.begin(), universe.end()),
+                   universe.end());
   }
-  return {tried, succeeded};
+
+  // Dense fast path: materialize the task-local view once (its row fetch
+  // doubles as the cache prewarm). Falls back to the oracle when disabled,
+  // over budget, not worth building, or the graph is too large for uint16
+  // distances. The path choice never changes the results — only how they
+  // are computed — so kAuto is free to pick either.
+  std::unique_ptr<TaskCompatView> view;
+  if (params_.eval_path == GreedyEvalPath::kView ||
+      (params_.eval_path == GreedyEvalPath::kAuto &&
+       ViewWorthBuilding(task, seeds.size(), universe.size()))) {
+    const uint32_t build_threads =
+        params_.prefetch_threads == 0 ? 1 : params_.prefetch_threads;
+    // Keep our universe copy alive: a build that falls back (budget /
+    // node-count gate) still wants the prewarm below.
+    view = TaskCompatView::BuildFromUniverse(
+        oracle_, skills_, task, std::vector<NodeId>(universe), build_threads,
+        params_.view_max_bytes);
+  }
+  if (view == nullptr && params_.prefetch_threads > 0) {
+    // Oracle path: warm the row cache for the whole universe so the
+    // misses are computed by parallel workers instead of serially on
+    // first use.
+    oracle_->StreamRows(universe, params_.prefetch_threads,
+                        [](size_t, const CompatibilityOracle::Row&) {});
+  }
+
+  // Only the RANDOM user policy consumes randomness inside the loop. Fork
+  // one stream per seed, in seed order, so results are bit-identical for
+  // every seed_threads setting and for both evaluation paths. (Non-random
+  // policies leave the caller's stream untouched, exactly as before.)
+  std::vector<Rng> seed_rngs;
+  if (params_.user_policy == UserPolicy::kRandom) {
+    TFSN_CHECK(rng != nullptr);
+    seed_rngs.reserve(seeds.size());
+    for (size_t i = 0; i < seeds.size(); ++i) seed_rngs.push_back(rng->Fork());
+  }
+  auto seed_rng_at = [&](size_t i) -> Rng* {
+    return seed_rngs.empty() ? nullptr : &seed_rngs[i];
+  };
+
+  // Per-seed result slots merged in seed order: a deterministic reduction
+  // no matter how many workers ran the loop.
+  std::vector<TeamResult> slots(seeds.size());
+  if (view != nullptr) {
+    const TaskCompatView& v = *view;
+    const uint32_t threads =
+        params_.seed_threads == 1 ? 1 : ResolveThreads(params_.seed_threads);
+    ParallelForEach(seeds.size(), threads, [&](uint64_t i) {
+      const uint32_t seed_local = v.LocalOf(seeds[i]);
+      slots[i] = CompleteSeedView(v, task, seed_local, seed_rng_at(i));
+    });
+  } else {
+    // One oracle instance is not thread-safe (GetRow pins rows into
+    // instance-local state), so the fallback path stays serial.
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      slots[i] = CompleteSeedOracle(task, seeds[i], seed_rng_at(i));
+    }
+  }
+
+  uint32_t succeeded = 0;
+  for (TeamResult& slot : slots) {
+    if (!slot.found) continue;
+    ++succeeded;
+    sink->push_back(std::move(slot));
+  }
+  return {static_cast<uint32_t>(seeds.size()), succeeded};
 }
 
 TeamResult GreedyTeamFormer::Form(const Task& task, Rng* rng) {
@@ -300,6 +535,38 @@ bool TaskSkillsCompatibleExact(CompatibilityOracle* oracle,
         for (NodeId v : ht) {
           // comp[u] itself covers the self-compatibility case (u == v).
           if (row.comp[v]) {
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+      }
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+bool TaskSkillsCompatibleExact(const TaskCompatView& view) {
+  auto task_skills = view.task().skills();
+  const size_t words = view.words();
+  std::vector<uint32_t> side;
+  for (size_t i = 0; i < task_skills.size(); ++i) {
+    for (size_t j = i + 1; j < task_skills.size(); ++j) {
+      size_t pi = i, pj = j;
+      if (view.HolderCount(pi) == 0 || view.HolderCount(pj) == 0) return false;
+      // Same smaller-side rule as the oracle overload (it decides which
+      // direction the SBPH raw rows are consulted in).
+      if (view.HolderCount(pj) < view.HolderCount(pi)) std::swap(pi, pj);
+      auto target_mask = view.HolderMask(pj);
+      side.clear();
+      AppendSetBits(view.HolderMask(pi), &side);
+      bool found = false;
+      for (uint32_t u : side) {
+        auto row = view.DirRow(u);
+        for (size_t w = 0; w < words; ++w) {
+          // Bit u of target_mask covers the self-compatibility case.
+          if ((row[w] & target_mask[w]) != 0) {
             found = true;
             break;
           }

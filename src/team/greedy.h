@@ -24,6 +24,7 @@
 #include "src/compat/skill_index.h"
 #include "src/skills/skills.h"
 #include "src/team/cost.h"
+#include "src/team/task_view.h"
 #include "src/util/rng.h"
 
 namespace tfsn {
@@ -52,6 +53,18 @@ enum class UserPolicy : uint8_t {
 const char* SkillPolicyName(SkillPolicy p);
 const char* UserPolicyName(UserPolicy p);
 
+/// How Form/FormTopK evaluate compatibility inside the seed loop.
+enum class GreedyEvalPath : uint8_t {
+  /// Build the task-local dense view (task_view.h) when it fits the byte
+  /// budget and all distances pack into uint16; oracle otherwise.
+  kAuto,
+  /// Prefer the view; still falls back to the oracle when the view cannot
+  /// be represented (budget or distance overflow).
+  kView,
+  /// Consume the oracle pair-by-pair (the pre-view reference path).
+  kOracle,
+};
+
 /// Tuning for the greedy former.
 struct GreedyParams {
   SkillPolicy skill_policy = SkillPolicy::kLeastCompatible;
@@ -67,8 +80,23 @@ struct GreedyParams {
   /// search) with this many workers via CompatibilityOracle::GetRows —
   /// warming the shared row cache in parallel instead of computing rows
   /// one by one inside the seed loop. 0 disables prefetching; results are
-  /// identical either way.
+  /// identical either way. On the view path the same worker count fetches
+  /// the rows the view is materialized from (0 = one worker — the rows are
+  /// needed regardless).
   uint32_t prefetch_threads = 0;
+  /// Workers for the seed loop on the view path (each seed's greedy
+  /// completion is independent and the view is immutable). 1 = serial,
+  /// 0 = hardware concurrency / TFSN_THREADS. Results are bit-identical
+  /// for every setting: per-seed outcomes land in per-seed slots merged in
+  /// seed order, and the RANDOM policy draws from per-seed forked streams.
+  /// The oracle fallback path always runs serially (one oracle instance is
+  /// not thread-safe).
+  uint32_t seed_threads = 1;
+  /// Evaluation path selection (see GreedyEvalPath).
+  GreedyEvalPath eval_path = GreedyEvalPath::kAuto;
+  /// Byte budget for the task-local dense view: ~1 bit (2 for SBPH) plus
+  /// 2 bytes per candidate pair. Oversized tasks fall back to the oracle.
+  size_t view_max_bytes = TaskCompatView::kDefaultMaxBytes;
   /// Objective used to pick the best candidate team across seeds (the
   /// paper uses the diameter). The kMinDistance user policy always greedily
   /// bounds the diameter; this only changes the final argmin.
@@ -114,6 +142,15 @@ class GreedyTeamFormer {
   const GreedyParams& params() const { return params_; }
 
  private:
+  /// Per-seed scratch buffers for the view path, reused across greedy
+  /// steps of one seed (each worker owns its own instance).
+  struct ViewScratch {
+    std::vector<uint64_t> cand_mask;
+    std::vector<uint64_t> pool_mask;
+    std::vector<uint32_t> candidates;
+    std::vector<uint32_t> pool;
+  };
+
   std::pair<uint32_t, uint32_t> EnumerateCandidates(
       const Task& task, Rng* rng, std::vector<TeamResult>* sink);
 
@@ -126,6 +163,27 @@ class GreedyTeamFormer {
   /// hold the skill — it is uncovered — but guard anyway).
   NodeId SelectUser(SkillId skill, const std::vector<NodeId>& team,
                     const std::vector<SkillId>& uncovered_after, Rng* rng);
+
+  /// View-path SelectUser over local ids; bit-identical selection.
+  uint32_t SelectUserView(const TaskCompatView& view, SkillId skill,
+                          const std::vector<uint32_t>& team,
+                          const std::vector<SkillId>& uncovered_after,
+                          Rng* rng, ViewScratch* scratch) const;
+
+  /// kAuto cost model: true when the estimated oracle-path seed-loop work
+  /// amortizes the dense-view build for this task (`universe_size` = the
+  /// already-computed holder-universe size m).
+  bool ViewWorthBuilding(const Task& task, size_t num_seeds,
+                         size_t universe_size) const;
+
+  /// Greedy completion of one seed against the oracle (serial reference
+  /// path). Returns the evaluated candidate team or found == false.
+  TeamResult CompleteSeedOracle(const Task& task, NodeId seed, Rng* rng);
+
+  /// Greedy completion of one seed against the dense view; thread-safe
+  /// (const view, const indexes, per-call scratch).
+  TeamResult CompleteSeedView(const TaskCompatView& view, const Task& task,
+                              uint32_t seed_local, Rng* rng) const;
 
   CompatibilityOracle* oracle_;
   const SkillAssignment& skills_;
@@ -146,5 +204,10 @@ bool TaskSkillsCompatible(const SkillCompatibilityIndex& index,
 bool TaskSkillsCompatibleExact(CompatibilityOracle* oracle,
                                const SkillAssignment& skills,
                                const Task& task);
+
+/// Dense-view variant of the exact MAX bound for view.task(): the holder
+/// streams become word-AND intersections of holder masks against raw-row
+/// bits. Bit-identical verdict to the oracle overload.
+bool TaskSkillsCompatibleExact(const TaskCompatView& view);
 
 }  // namespace tfsn

@@ -1,0 +1,203 @@
+#include "src/team/task_view.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/util/logging.h"
+
+namespace tfsn {
+
+void AppendSetBits(std::span<const uint64_t> mask, std::vector<uint32_t>* out) {
+  for (size_t w = 0; w < mask.size(); ++w) {
+    uint64_t bits = mask[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      out->push_back(static_cast<uint32_t>(w * 64 + b));
+      bits &= bits - 1;
+    }
+  }
+}
+
+uint64_t CountSetBits(std::span<const uint64_t> mask) {
+  uint64_t count = 0;
+  for (uint64_t w : mask) count += static_cast<uint64_t>(std::popcount(w));
+  return count;
+}
+
+uint32_t TaskCompatView::LocalOf(NodeId global) const {
+  auto it = std::lower_bound(universe_.begin(), universe_.end(), global);
+  if (it == universe_.end() || *it != global) return kNoLocalId;
+  return static_cast<uint32_t>(it - universe_.begin());
+}
+
+size_t TaskCompatView::TaskSkillPos(SkillId skill) const {
+  auto skills = task_.skills();
+  auto it = std::lower_bound(skills.begin(), skills.end(), skill);
+  TFSN_CHECK(it != skills.end() && *it == skill);
+  return static_cast<size_t>(it - skills.begin());
+}
+
+size_t TaskCompatView::bytes() const {
+  return universe_.capacity() * sizeof(NodeId) +
+         (static_cast<size_t>(m_) * words_ + pair_bits_.capacity() +
+          holder_bits_.capacity()) *
+             sizeof(uint64_t) +
+         static_cast<size_t>(m_) * m_ * sizeof(uint16_t) +
+         static_cast<size_t>(m_) * 2 * sizeof(std::atomic<uint8_t>) +
+         holder_counts_.capacity() * sizeof(uint32_t);
+}
+
+void TaskCompatView::MaterializeDirRow(uint32_t local) const {
+  std::lock_guard<std::mutex> lock(row_locks_[local % kLockStripes]);
+  if (dir_ready_[local].load(std::memory_order_relaxed)) return;
+  // Almost always a cache hit: Build() batch-prewarmed the universe. An
+  // evicted row is recomputed by the kernel — pricier, but the values are
+  // identical.
+  std::shared_ptr<const CompatibilityOracle::Row> row =
+      oracle_->GetRowShared(universe_[local]);
+  uint64_t* bits = dir_bits_.get() + static_cast<size_t>(local) * words_;
+  const uint8_t* comp_src = row->comp.data();
+  const NodeId* uni = universe_.data();
+  const size_t m = m_;
+  for (size_t w = 0; w < words_; ++w) {
+    const size_t j_end = std::min(m, (w + 1) * 64);
+    uint64_t word = 0;
+    for (size_t j = w * 64; j < j_end; ++j) {
+      word |= static_cast<uint64_t>(comp_src[uni[j]] != 0) << (j & 63);
+    }
+    bits[w] = word;
+  }
+  dir_ready_[local].store(1, std::memory_order_release);
+}
+
+void TaskCompatView::MaterializeDistRow(uint32_t local) const {
+  std::lock_guard<std::mutex> lock(row_locks_[local % kLockStripes]);
+  if (dist_ready_[local].load(std::memory_order_relaxed)) return;
+  std::shared_ptr<const CompatibilityOracle::Row> row =
+      oracle_->GetRowShared(universe_[local]);
+  uint16_t* dist = dist_.get() + static_cast<size_t>(local) * m_;
+  const uint32_t* dist_src = row->dist.data();
+  const NodeId* uni = universe_.data();
+  for (size_t j = 0; j < m_; ++j) {
+    // kUnreachable saturates to the sentinel; finite distances fit by the
+    // Build() node-count gate.
+    dist[j] = static_cast<uint16_t>(
+        std::min<uint32_t>(dist_src[uni[j]], kDenseUnreachable));
+  }
+  dist_ready_[local].store(1, std::memory_order_release);
+}
+
+std::unique_ptr<TaskCompatView> TaskCompatView::Build(
+    CompatibilityOracle* oracle, const SkillAssignment& skills,
+    const Task& task, uint32_t threads, size_t max_bytes) {
+  std::vector<NodeId> universe;
+  for (SkillId s : task.skills()) {
+    auto holders = skills.Holders(s);
+    universe.insert(universe.end(), holders.begin(), holders.end());
+  }
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()),
+                 universe.end());
+  return BuildFromUniverse(oracle, skills, task, std::move(universe), threads,
+                           max_bytes);
+}
+
+std::unique_ptr<TaskCompatView> TaskCompatView::BuildFromUniverse(
+    CompatibilityOracle* oracle, const SkillAssignment& skills,
+    const Task& task, std::vector<NodeId> universe, uint32_t threads,
+    size_t max_bytes) {
+  TFSN_CHECK(oracle != nullptr);
+  // Finite relation distances are path lengths over at most (node, side)
+  // states, hence < 2 * num_nodes; this gate guarantees they all fit
+  // under the uint16 sentinel so no per-cell overflow checks are needed.
+  if (oracle->graph().num_nodes() >= kDenseUnreachable / 2) return nullptr;
+  auto task_skills = task.skills();
+
+  const size_t m = universe.size();
+  const size_t words = (m + 63) / 64;
+  const bool sbph = oracle->kind() == CompatKind::kSBPH;
+  const size_t need = universe.size() * sizeof(NodeId) +
+                      m * words * sizeof(uint64_t) * (sbph ? 2 : 1) +
+                      m * m * sizeof(uint16_t) +
+                      task_skills.size() * words * sizeof(uint64_t) +
+                      task_skills.size() * sizeof(uint32_t);
+  if (need > max_bytes) return nullptr;
+
+  std::unique_ptr<TaskCompatView> view(new TaskCompatView());
+  view->oracle_ = oracle;
+  view->task_ = task;
+  view->kind_ = oracle->kind();
+  view->m_ = static_cast<uint32_t>(m);
+  view->words_ = words;
+  view->universe_ = std::move(universe);
+  // Dense rows are deliberately left uninitialized (no m^2 zeroing): each
+  // row is gathered on first touch, gated by its ready flag.
+  view->dir_bits_.reset(new uint64_t[m * words]);
+  view->dist_.reset(new uint16_t[m * m]);
+  view->dir_ready_.reset(new std::atomic<uint8_t>[m]);
+  view->dist_ready_.reset(new std::atomic<uint8_t>[m]);
+  for (size_t i = 0; i < m; ++i) {
+    view->dir_ready_[i].store(sbph ? 1 : 0, std::memory_order_relaxed);
+    view->dist_ready_[i].store(0, std::memory_order_relaxed);
+  }
+
+  if (!sbph) {
+    // Batched cache prewarm: each chunk's misses are computed in parallel
+    // — 64-way bit-parallel where the relation allows — and published to
+    // the shared row cache, then the chunk's pins are dropped before the
+    // next so peak memory stays at one batch of full-length rows. The
+    // dense rows themselves materialize lazily from these cached rows.
+    oracle->StreamRows(view->universe_, threads,
+                       [](size_t, const CompatibilityOracle::Row&) {});
+  } else {
+    // SBPH pair semantics are the symmetric closure of the direction-
+    // dependent heuristic rows (see CompatibilityOracle::Compatible),
+    // which needs the transpose — so fill every dir row eagerly and
+    // materialize dir | dir^T once, keeping the seed loop's AND-folds
+    // plain word operations.
+    const NodeId* uni = view->universe_.data();
+    oracle->StreamRows(
+        view->universe_, threads,
+        [&](size_t i, const CompatibilityOracle::Row& row) {
+          uint64_t* bits = view->dir_bits_.get() + i * words;
+          const uint8_t* comp_src = row.comp.data();
+          for (size_t w = 0; w < words; ++w) {
+            const size_t j_end = std::min(m, (w + 1) * 64);
+            uint64_t word = 0;
+            for (size_t j = w * 64; j < j_end; ++j) {
+              word |= static_cast<uint64_t>(comp_src[uni[j]] != 0) << (j & 63);
+            }
+            bits[w] = word;
+          }
+        });
+    view->pair_bits_.assign(view->dir_bits_.get(),
+                            view->dir_bits_.get() + m * words);
+    for (size_t i = 0; i < m; ++i) {
+      const uint64_t* row_i = view->dir_bits_.get() + i * words;
+      for (size_t j = i + 1; j < m; ++j) {
+        if ((row_i[j >> 6] >> (j & 63)) & 1u) {
+          view->pair_bits_[j * words + (i >> 6)] |= uint64_t{1} << (i & 63);
+        }
+        if ((view->dir_bits_[j * words + (i >> 6)] >> (i & 63)) & 1u) {
+          view->pair_bits_[i * words + (j >> 6)] |= uint64_t{1} << (j & 63);
+        }
+      }
+    }
+  }
+
+  view->holder_bits_.assign(task_skills.size() * words, 0);
+  view->holder_counts_.assign(task_skills.size(), 0);
+  for (size_t p = 0; p < task_skills.size(); ++p) {
+    uint64_t* mask = view->holder_bits_.data() + p * words;
+    auto holders = skills.Holders(task_skills[p]);
+    for (NodeId h : holders) {
+      const uint32_t local = view->LocalOf(h);
+      TFSN_CHECK(local != kNoLocalId);
+      mask[local >> 6] |= uint64_t{1} << (local & 63);
+    }
+    view->holder_counts_[p] = static_cast<uint32_t>(holders.size());
+  }
+  return view;
+}
+
+}  // namespace tfsn

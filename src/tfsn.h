@@ -45,6 +45,7 @@
 #include "src/team/exact.h"               // IWYU pragma: export
 #include "src/team/greedy.h"              // IWYU pragma: export
 #include "src/team/refine.h"              // IWYU pragma: export
+#include "src/team/task_view.h"           // IWYU pragma: export
 #include "src/team/unsigned_tf.h"         // IWYU pragma: export
 #include "src/util/flags.h"               // IWYU pragma: export
 #include "src/util/parallel.h"            // IWYU pragma: export

@@ -1,0 +1,436 @@
+// Tests for the task-local dense compatibility view (task_view.h) and the
+// greedy former's view fast path: the view must reproduce the oracle's
+// pair semantics bit for bit, Form/FormTopK must return identical results
+// on the view and oracle paths for every policy combination, and the
+// parallel seed loop must be deterministic across thread counts.
+
+#include "src/team/task_view.h"
+
+#include <gtest/gtest.h>
+
+#include "src/compat/skill_index.h"
+#include "src/compat/threshold.h"
+#include "src/gen/generators.h"
+#include "src/graph/graph_builder.h"
+#include "src/skills/skill_generator.h"
+#include "src/team/cost.h"
+#include "src/team/greedy.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+namespace {
+
+struct Instance {
+  SignedGraph graph;
+  SkillAssignment skills;
+};
+
+Instance MakeInstance(uint32_t n, uint64_t edges, double neg_fraction,
+                      uint32_t num_skills, uint64_t seed) {
+  Rng rng(seed);
+  Instance inst{RandomConnectedGnm(n, edges, neg_fraction, &rng), {}};
+  ZipfSkillParams sp;
+  sp.num_skills = num_skills;
+  inst.skills = ZipfSkills(n, sp, &rng);
+  return inst;
+}
+
+void ExpectSameResult(const TeamResult& a, const TeamResult& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.found, b.found) << what;
+  EXPECT_EQ(a.members, b.members) << what;
+  EXPECT_EQ(a.cost, b.cost) << what;
+  EXPECT_EQ(a.objective, b.objective) << what;
+  EXPECT_EQ(a.seeds_tried, b.seeds_tried) << what;
+  EXPECT_EQ(a.seeds_succeeded, b.seeds_succeeded) << what;
+}
+
+TEST(TaskViewTest, MatchesOraclePairSemanticsForAllKinds) {
+  Instance inst = MakeInstance(40, 100, 0.25, 10, 21);
+  Rng task_rng(5);
+  for (CompatKind kind : AllCompatKinds()) {
+    auto oracle = MakeOracle(inst.graph, kind);
+    Task task = RandomTask(inst.skills, 4, &task_rng);
+    auto view = TaskCompatView::Build(oracle.get(), inst.skills, task);
+    ASSERT_NE(view, nullptr) << CompatKindName(kind);
+    EXPECT_EQ(view->kind(), kind);
+    const uint32_t m = view->size();
+    ASSERT_GT(m, 0u);
+    for (uint32_t a = 0; a < m; ++a) {
+      const NodeId ga = view->GlobalOf(a);
+      EXPECT_EQ(view->LocalOf(ga), a);
+      const auto& row = oracle->GetRow(ga);
+      for (uint32_t b = 0; b < m; ++b) {
+        const NodeId gb = view->GlobalOf(b);
+        EXPECT_EQ(view->PairCompatible(a, b), oracle->Compatible(ga, gb))
+            << CompatKindName(kind) << " pair (" << ga << "," << gb << ")";
+        EXPECT_EQ(view->PairDistance(a, b), oracle->Distance(ga, gb))
+            << CompatKindName(kind) << " pair (" << ga << "," << gb << ")";
+        // Directional raw-row bits mirror GetRow exactly.
+        EXPECT_EQ(TestBit(view->DirRow(a), b), row.comp[gb] != 0);
+      }
+    }
+  }
+}
+
+TEST(TaskViewTest, HolderMasksMatchAssignment) {
+  Instance inst = MakeInstance(50, 130, 0.2, 8, 33);
+  auto oracle = MakeOracle(inst.graph, CompatKind::kNNE);
+  Rng task_rng(7);
+  Task task = RandomTask(inst.skills, 5, &task_rng);
+  auto view = TaskCompatView::Build(oracle.get(), inst.skills, task);
+  ASSERT_NE(view, nullptr);
+  auto task_skills = task.skills();
+  for (size_t p = 0; p < task_skills.size(); ++p) {
+    EXPECT_EQ(view->TaskSkillPos(task_skills[p]), p);
+    auto holders = inst.skills.Holders(task_skills[p]);
+    EXPECT_EQ(view->HolderCount(p), holders.size());
+    std::vector<uint32_t> locals;
+    AppendSetBits(view->HolderMask(p), &locals);
+    ASSERT_EQ(locals.size(), holders.size());
+    for (size_t i = 0; i < holders.size(); ++i) {
+      EXPECT_EQ(view->GlobalOf(locals[i]), holders[i]);
+    }
+  }
+  // The universe is exactly the union of the holder lists, sorted.
+  std::vector<NodeId> expect;
+  for (SkillId s : task_skills) {
+    auto hs = inst.skills.Holders(s);
+    expect.insert(expect.end(), hs.begin(), hs.end());
+  }
+  std::sort(expect.begin(), expect.end());
+  expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
+  EXPECT_EQ(std::vector<NodeId>(view->universe().begin(),
+                                view->universe().end()),
+            expect);
+}
+
+TEST(TaskViewTest, ThresholdOracleCustomKernelSupported) {
+  Instance inst = MakeInstance(36, 90, 0.3, 8, 43);
+  auto oracle = MakeThresholdOracle(inst.graph, 0.75);
+  Rng task_rng(9);
+  Task task = RandomTask(inst.skills, 4, &task_rng);
+  auto view = TaskCompatView::Build(oracle.get(), inst.skills, task);
+  ASSERT_NE(view, nullptr);
+  for (uint32_t a = 0; a < view->size(); ++a) {
+    for (uint32_t b = 0; b < view->size(); ++b) {
+      EXPECT_EQ(view->PairCompatible(a, b),
+                oracle->Compatible(view->GlobalOf(a), view->GlobalOf(b)));
+      EXPECT_EQ(view->PairDistance(a, b),
+                oracle->Distance(view->GlobalOf(a), view->GlobalOf(b)));
+    }
+  }
+}
+
+TEST(TaskViewTest, UnreachablePairsWidenToOracleSentinel) {
+  // Two positive components with no connecting edge: cross-component NNE
+  // pairs are compatible but at infinite distance.
+  SignedGraphBuilder b(4);
+  b.AddEdge(0, 1, Sign::kPositive).CheckOK();
+  b.AddEdge(2, 3, Sign::kPositive).CheckOK();
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  auto sa = std::move(SkillAssignment::Create({{0}, {0}, {1}, {1}}, 2))
+                .ValueOrDie();
+  auto oracle = MakeOracle(g, CompatKind::kNNE);
+  auto view = TaskCompatView::Build(oracle.get(), sa, Task({0, 1}));
+  ASSERT_NE(view, nullptr);
+  const uint32_t l0 = view->LocalOf(0), l2 = view->LocalOf(2);
+  EXPECT_TRUE(view->PairCompatible(l0, l2));
+  EXPECT_EQ(view->PairDistance(l0, l2), kUnreachable);
+  std::vector<uint32_t> team{l0, l2};
+  EXPECT_EQ(TeamDiameter(*view, team), kUnreachable);
+  std::vector<NodeId> global_team{0, 2};
+  EXPECT_EQ(TeamDiameter(oracle.get(), global_team), kUnreachable);
+}
+
+TEST(TaskViewTest, CostOverloadsMatchOracle) {
+  Instance inst = MakeInstance(45, 120, 0.25, 8, 55);
+  Rng rng(11);
+  for (CompatKind kind :
+       {CompatKind::kSPM, CompatKind::kSBPH, CompatKind::kNNE}) {
+    auto oracle = MakeOracle(inst.graph, kind);
+    Task task = RandomTask(inst.skills, 5, &rng);
+    auto view = TaskCompatView::Build(oracle.get(), inst.skills, task);
+    ASSERT_NE(view, nullptr);
+    for (int trial = 0; trial < 10; ++trial) {
+      // Random teams drawn from the universe.
+      std::vector<uint32_t> locals;
+      std::vector<NodeId> globals;
+      const uint32_t team_size =
+          2 + static_cast<uint32_t>(rng.NextBounded(4));
+      for (uint32_t i = 0; i < team_size; ++i) {
+        const uint32_t l =
+            static_cast<uint32_t>(rng.NextBounded(view->size()));
+        locals.push_back(l);
+        globals.push_back(view->GlobalOf(l));
+      }
+      EXPECT_EQ(TeamDiameter(*view, locals),
+                TeamDiameter(oracle.get(), globals));
+      EXPECT_EQ(TeamCompatible(*view, locals),
+                TeamCompatible(oracle.get(), globals));
+      for (CostKind cost_kind : {CostKind::kDiameter, CostKind::kSumOfPairs,
+                                 CostKind::kCenterStar}) {
+        EXPECT_EQ(TeamCost(*view, locals, cost_kind),
+                  TeamCost(oracle.get(), globals, cost_kind));
+      }
+    }
+  }
+}
+
+TEST(TaskViewTest, ExactMaxBoundMatchesOracle) {
+  Instance inst = MakeInstance(40, 95, 0.35, 10, 77);
+  Rng rng(13);
+  for (CompatKind kind :
+       {CompatKind::kSPA, CompatKind::kSBPH, CompatKind::kNNE}) {
+    auto oracle = MakeOracle(inst.graph, kind);
+    for (int trial = 0; trial < 8; ++trial) {
+      Task task = RandomTask(inst.skills, 4, &rng);
+      auto view = TaskCompatView::Build(oracle.get(), inst.skills, task);
+      ASSERT_NE(view, nullptr);
+      EXPECT_EQ(TaskSkillsCompatibleExact(*view),
+                TaskSkillsCompatibleExact(oracle.get(), inst.skills, task))
+          << CompatKindName(kind);
+    }
+  }
+}
+
+TEST(TaskViewTest, BuildFallsBackOnTinyBudget) {
+  Instance inst = MakeInstance(30, 70, 0.2, 6, 91);
+  auto oracle = MakeOracle(inst.graph, CompatKind::kNNE);
+  Rng rng(15);
+  Task task = RandomTask(inst.skills, 3, &rng);
+  EXPECT_EQ(TaskCompatView::Build(oracle.get(), inst.skills, task,
+                                  /*threads=*/1, /*max_bytes=*/16),
+            nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Former equivalence: view path vs oracle path
+// ---------------------------------------------------------------------------
+
+GreedyParams PathParams(SkillPolicy sp, UserPolicy up, GreedyEvalPath path) {
+  GreedyParams p;
+  p.skill_policy = sp;
+  p.user_policy = up;
+  p.eval_path = path;
+  return p;
+}
+
+TEST(GreedyViewEquivalenceTest, FormIdenticalAcrossAllPolicyCombos) {
+  Instance inst = MakeInstance(42, 116, 0.25, 12, 101);
+  for (CompatKind kind : AllCompatKinds()) {
+    // A depth-bounded exact-SBP search and a sampled index keep this
+    // combo sweep affordable (under TSan especially); both paths share
+    // the oracle and the index, so equivalence is unaffected.
+    OracleParams oracle_params;
+    oracle_params.sbp.max_depth = 6;
+    auto oracle = MakeOracle(inst.graph, kind, oracle_params);
+    Rng index_rng(3);
+    SkillCompatibilityIndex index(oracle.get(), inst.skills,
+                                  kind == CompatKind::kSBP ? 12 : 0,
+                                  &index_rng);
+    for (SkillPolicy sp :
+         {SkillPolicy::kRarest, SkillPolicy::kLeastCompatible}) {
+      for (UserPolicy up :
+           {UserPolicy::kMinDistance, UserPolicy::kMostCompatible,
+            UserPolicy::kRandom}) {
+        GreedyTeamFormer view_former(
+            oracle.get(), inst.skills, &index, PathParams(sp, up,
+                                                          GreedyEvalPath::kView));
+        GreedyTeamFormer oracle_former(
+            oracle.get(), inst.skills, &index,
+            PathParams(sp, up, GreedyEvalPath::kOracle));
+        Rng task_rng(17);
+        for (int trial = 0; trial < 4; ++trial) {
+          Task task = RandomTask(inst.skills, 4, &task_rng);
+          Rng rng_a(1000 + trial), rng_b(1000 + trial);
+          TeamResult via_view = view_former.Form(task, &rng_a);
+          TeamResult via_oracle = oracle_former.Form(task, &rng_b);
+          ExpectSameResult(via_view, via_oracle,
+                           std::string(CompatKindName(kind)) + "/" +
+                               SkillPolicyName(sp) + "/" + UserPolicyName(up));
+        }
+      }
+    }
+  }
+}
+
+TEST(GreedyViewEquivalenceTest, FormIdenticalWithSeedCapAndCostKinds) {
+  Instance inst = MakeInstance(60, 170, 0.2, 8, 111);
+  auto oracle = MakeOracle(inst.graph, CompatKind::kSPM);
+  Rng index_rng(4);
+  SkillCompatibilityIndex index(oracle.get(), inst.skills, 0, &index_rng);
+  for (CostKind cost_kind : {CostKind::kDiameter, CostKind::kSumOfPairs,
+                             CostKind::kCenterStar}) {
+    GreedyParams base = PathParams(SkillPolicy::kLeastCompatible,
+                                   UserPolicy::kMinDistance,
+                                   GreedyEvalPath::kView);
+    base.max_seeds = 4;
+    base.cost_kind = cost_kind;
+    GreedyParams oracle_params = base;
+    oracle_params.eval_path = GreedyEvalPath::kOracle;
+    GreedyTeamFormer view_former(oracle.get(), inst.skills, &index, base);
+    GreedyTeamFormer oracle_former(oracle.get(), inst.skills, &index,
+                                   oracle_params);
+    Rng task_rng(19);
+    for (int trial = 0; trial < 5; ++trial) {
+      Task task = RandomTask(inst.skills, 5, &task_rng);
+      Rng rng_a(2000 + trial), rng_b(2000 + trial);
+      ExpectSameResult(view_former.Form(task, &rng_a),
+                       oracle_former.Form(task, &rng_b),
+                       CostKindName(cost_kind));
+    }
+  }
+}
+
+TEST(GreedyViewEquivalenceTest, MostCompatiblePoolThinningIdentical) {
+  // A tiny pool cap forces the deterministic thinning branch on every
+  // step (the default cap of 256 is never reached on test-sized graphs).
+  Instance inst = MakeInstance(70, 200, 0.2, 9, 161);
+  auto oracle = MakeOracle(inst.graph, CompatKind::kSPO);
+  Rng index_rng(9);
+  SkillCompatibilityIndex index(oracle.get(), inst.skills, 0, &index_rng);
+  for (uint32_t cap : {3u, 7u, 16u}) {
+    GreedyParams view_params = PathParams(
+        SkillPolicy::kRarest, UserPolicy::kMostCompatible,
+        GreedyEvalPath::kView);
+    view_params.most_compatible_pool_cap = cap;
+    GreedyParams oracle_params = view_params;
+    oracle_params.eval_path = GreedyEvalPath::kOracle;
+    GreedyTeamFormer view_former(oracle.get(), inst.skills, &index,
+                                 view_params);
+    GreedyTeamFormer oracle_former(oracle.get(), inst.skills, &index,
+                                   oracle_params);
+    Rng task_rng(41);
+    for (int trial = 0; trial < 5; ++trial) {
+      Task task = RandomTask(inst.skills, 5, &task_rng);
+      Rng rng_a(6000 + trial), rng_b(6000 + trial);
+      ExpectSameResult(view_former.Form(task, &rng_a),
+                       oracle_former.Form(task, &rng_b),
+                       "pool_cap=" + std::to_string(cap));
+    }
+  }
+}
+
+TEST(GreedyViewEquivalenceTest, FormTopKIdentical) {
+  Instance inst = MakeInstance(55, 150, 0.25, 10, 121);
+  for (CompatKind kind : {CompatKind::kSPO, CompatKind::kSBPH}) {
+    auto oracle = MakeOracle(inst.graph, kind);
+    Rng index_rng(5);
+    SkillCompatibilityIndex index(oracle.get(), inst.skills, 0, &index_rng);
+    GreedyTeamFormer view_former(
+        oracle.get(), inst.skills, &index,
+        PathParams(SkillPolicy::kLeastCompatible, UserPolicy::kMinDistance,
+                   GreedyEvalPath::kView));
+    GreedyTeamFormer oracle_former(
+        oracle.get(), inst.skills, &index,
+        PathParams(SkillPolicy::kLeastCompatible, UserPolicy::kMinDistance,
+                   GreedyEvalPath::kOracle));
+    Rng task_rng(23);
+    for (int trial = 0; trial < 4; ++trial) {
+      Task task = RandomTask(inst.skills, 4, &task_rng);
+      Rng rng_a(3000 + trial), rng_b(3000 + trial);
+      auto via_view = view_former.FormTopK(task, 5, &rng_a);
+      auto via_oracle = oracle_former.FormTopK(task, 5, &rng_b);
+      ASSERT_EQ(via_view.size(), via_oracle.size()) << CompatKindName(kind);
+      for (size_t i = 0; i < via_view.size(); ++i) {
+        EXPECT_EQ(via_view[i].members, via_oracle[i].members);
+        EXPECT_EQ(via_view[i].cost, via_oracle[i].cost);
+        EXPECT_EQ(via_view[i].objective, via_oracle[i].objective);
+      }
+    }
+  }
+}
+
+TEST(GreedyViewEquivalenceTest, AutoFallsBackUnderBudgetAndStaysIdentical) {
+  Instance inst = MakeInstance(40, 100, 0.2, 8, 131);
+  auto oracle = MakeOracle(inst.graph, CompatKind::kNNE);
+  Rng index_rng(6);
+  SkillCompatibilityIndex index(oracle.get(), inst.skills, 0, &index_rng);
+  GreedyParams auto_params = PathParams(
+      SkillPolicy::kRarest, UserPolicy::kMinDistance, GreedyEvalPath::kAuto);
+  auto_params.view_max_bytes = 16;  // nothing fits: forces the oracle path
+  GreedyTeamFormer capped(oracle.get(), inst.skills, &index, auto_params);
+  GreedyTeamFormer reference(
+      oracle.get(), inst.skills, &index,
+      PathParams(SkillPolicy::kRarest, UserPolicy::kMinDistance,
+                 GreedyEvalPath::kOracle));
+  Rng task_rng(29);
+  for (int trial = 0; trial < 4; ++trial) {
+    Task task = RandomTask(inst.skills, 4, &task_rng);
+    Rng rng_a(4000 + trial), rng_b(4000 + trial);
+    ExpectSameResult(capped.Form(task, &rng_a), reference.Form(task, &rng_b),
+                     "auto-fallback");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread determinism of the parallel seed loop
+// ---------------------------------------------------------------------------
+
+TEST(GreedySeedThreadsTest, ResultsIdenticalAcrossThreadCounts) {
+  Instance inst = MakeInstance(120, 360, 0.2, 10, 141);
+  for (CompatKind kind : {CompatKind::kSPM, CompatKind::kNNE}) {
+    auto oracle = MakeOracle(inst.graph, kind);
+    Rng index_rng(7);
+    SkillCompatibilityIndex index(oracle.get(), inst.skills, 0, &index_rng);
+    for (UserPolicy up : {UserPolicy::kMinDistance, UserPolicy::kMostCompatible,
+                          UserPolicy::kRandom}) {
+      Rng task_rng(31);
+      std::vector<Task> tasks;
+      for (int t = 0; t < 3; ++t) {
+        tasks.push_back(RandomTask(inst.skills, 5, &task_rng));
+      }
+      std::vector<TeamResult> reference;
+      for (uint32_t threads : {1u, 2u, 8u}) {
+        GreedyParams params = PathParams(SkillPolicy::kLeastCompatible, up,
+                                         GreedyEvalPath::kView);
+        params.seed_threads = threads;
+        GreedyTeamFormer former(oracle.get(), inst.skills, &index, params);
+        for (size_t t = 0; t < tasks.size(); ++t) {
+          Rng rng(5000 + static_cast<uint64_t>(t));
+          TeamResult result = former.Form(tasks[t], &rng);
+          if (threads == 1) {
+            reference.push_back(result);
+          } else {
+            ExpectSameResult(result, reference[t],
+                             std::string(CompatKindName(kind)) + "/" +
+                                 UserPolicyName(up) + "/threads=" +
+                                 std::to_string(threads));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GreedySeedThreadsTest, FormTopKIdenticalAcrossThreadCounts) {
+  Instance inst = MakeInstance(100, 300, 0.25, 8, 151);
+  auto oracle = MakeOracle(inst.graph, CompatKind::kNNE);
+  Rng index_rng(8);
+  SkillCompatibilityIndex index(oracle.get(), inst.skills, 0, &index_rng);
+  Rng task_rng(37);
+  Task task = RandomTask(inst.skills, 5, &task_rng);
+  std::vector<TeamResult> reference;
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    GreedyParams params = PathParams(SkillPolicy::kRarest,
+                                     UserPolicy::kRandom, GreedyEvalPath::kView);
+    params.seed_threads = threads;
+    GreedyTeamFormer former(oracle.get(), inst.skills, &index, params);
+    Rng rng(61);
+    auto teams = former.FormTopK(task, 6, &rng);
+    if (threads == 1) {
+      reference = teams;
+      EXPECT_FALSE(reference.empty());
+    } else {
+      ASSERT_EQ(teams.size(), reference.size()) << threads;
+      for (size_t i = 0; i < teams.size(); ++i) {
+        EXPECT_EQ(teams[i].members, reference[i].members) << threads;
+        EXPECT_EQ(teams[i].objective, reference[i].objective) << threads;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tfsn
