@@ -1,0 +1,385 @@
+// Serving-layer throughput harness: batched scheduler vs the
+// one-task-per-view baseline.
+//
+//   serve_throughput --quick [--json=BENCH_serve_throughput.json]
+//   serve_throughput [--scale=0.12] [--workers=2] [--batch-cap=16]
+//                    [--requests=400] [--task-size=3] [--zipf=1.0]
+//                    [--max-seeds=16] [--min-jaccard=0.05] [--qps=0]
+//                    [--seed=1] [--json=...]
+//
+// Both modes serve the *same* deterministic Zipf request stream on the
+// Epinions-scale fixture with equal worker counts over one shared,
+// budget-constrained row cache brought to its LRU steady state by a warm
+// pass (the cache budget is a fraction of the stream's row working set —
+// see HarnessConfig::cache_fraction — and the runs execute sequentially
+// on that same steady-state cache); the only configuration difference is
+// BatchPolicy::max_batch (grouping on vs one view per request). Every
+// response is checked bit-identical against the direct GreedyTeamFormer
+// path before any number is reported — the speedup never comes from
+// changing answers. A final open-loop pass (Poisson arrivals at --qps,
+// default 60% of the measured batched throughput) records latency
+// percentiles under partial load.
+//
+// JSON schema: README, "Bench JSON output".
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "src/compat/skill_index.h"
+#include "src/data/datasets.h"
+#include "src/serve/server.h"
+#include "src/serve/workload.h"
+#include "src/team/greedy.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace tfsn {
+namespace {
+
+using serve::ServerMetrics;
+using serve::ServerOptions;
+using serve::TeamFormationServer;
+using serve::TeamRequest;
+using serve::WorkloadResult;
+
+struct HarnessConfig {
+  double scale = 0.12;
+  uint32_t workers = 2;
+  uint32_t batch_cap = 16;
+  uint32_t requests = 400;
+  uint32_t task_size = 3;
+  double zipf = 1.0;
+  uint32_t max_seeds = 16;
+  double min_jaccard = 0.05;
+  double qps = 0;  // 0 = auto (60% of measured batched throughput)
+  /// Shared row-cache budget as a fraction of the stream's row working
+  /// set. At full Epinions scale the working set (~29k rows × ~145 KB)
+  /// dwarfs any realistic cache, so the scaled-down fixture must scale
+  /// the cache budget down with it to preserve the serving economics —
+  /// an unconstrained cache at toy scale would measure nothing but
+  /// allocator noise. Override with --cache-mb for an absolute budget.
+  double cache_fraction = 0.3;
+  size_t cache_mb = 0;  // 0 = use cache_fraction
+  uint64_t seed = 1;
+};
+
+GreedyParams ServeGreedyParams(const HarnessConfig& config) {
+  GreedyParams params;
+  params.skill_policy = SkillPolicy::kLeastCompatible;
+  params.user_policy = UserPolicy::kMinDistance;
+  params.max_seeds = config.max_seeds;
+  return params;
+}
+
+ServerOptions MakeServerOptions(const HarnessConfig& config,
+                                uint32_t max_batch) {
+  ServerOptions options;
+  options.workers = config.workers;
+  // Sized for the whole stream: the burst experiment submits every
+  // request up front to measure peak service throughput.
+  options.queue_capacity = config.requests + 1;
+  options.batch.max_batch = max_batch;
+  options.batch.min_jaccard = config.min_jaccard;
+  options.batch.max_view_bytes = 64ull << 20;
+  options.greedy = ServeGreedyParams(config);
+  return options;
+}
+
+double MsOf(uint64_t us) { return static_cast<double>(us) / 1000.0; }
+
+// "1:3;2:5;16:12" — batch size : batch count, sizes ascending, zero
+// counts omitted.
+std::string BatchSizeDist(const ServerMetrics& metrics) {
+  std::string out;
+  for (size_t b = 1; b < metrics.batch_size_counts.size(); ++b) {
+    if (metrics.batch_size_counts[b] == 0) continue;
+    if (!out.empty()) out += ';';
+    out += std::to_string(b) + ":" +
+           std::to_string(metrics.batch_size_counts[b]);
+  }
+  return out;
+}
+
+void VerifyAgainstReference(const std::vector<TeamResult>& reference,
+                            const WorkloadResult& run, const char* mode) {
+  if (run.responses.size() != reference.size()) {
+    std::fprintf(stderr, "FATAL: %s served %zu of %zu requests\n", mode,
+                 run.responses.size(), reference.size());
+    std::abort();
+  }
+  for (const serve::TeamResponse& resp : run.responses) {
+    const TeamResult& want = reference[resp.id];
+    const TeamResult& got = resp.result;
+    if (got.found != want.found || got.members != want.members ||
+        got.cost != want.cost || got.objective != want.objective) {
+      std::fprintf(stderr,
+                   "FATAL: %s diverged from the direct former on request "
+                   "%llu\n",
+                   mode, static_cast<unsigned long long>(resp.id));
+      std::abort();
+    }
+  }
+}
+
+void EmitCommon(bench::JsonArrayWriter* json, const Dataset& ds,
+                const HarnessConfig& config) {
+  json->Field("bench", "serve_throughput");
+  json->Field("n", ds.graph.num_nodes());
+  json->Field("edges", ds.graph.num_edges());
+  json->Field("kind", "SPM");
+  json->Field("workers", config.workers);
+  json->Field("requests", config.requests);
+  json->Field("task_size", config.task_size);
+  json->Field("zipf", config.zipf);
+  json->Field("max_seeds", config.max_seeds);
+}
+
+void EmitCacheShape(bench::JsonArrayWriter* json, size_t working_set_bytes,
+                    size_t cache_budget_bytes) {
+  json->Field("working_set_mb",
+              static_cast<double>(working_set_bytes) / (1 << 20));
+  json->Field("cache_budget_mb",
+              static_cast<double>(cache_budget_bytes) / (1 << 20));
+}
+
+void EmitLatency(bench::JsonArrayWriter* json, const ServerMetrics& metrics) {
+  json->Field("p50_ms", MsOf(metrics.total_us.ValueAtQuantile(0.50)));
+  json->Field("p95_ms", MsOf(metrics.total_us.ValueAtQuantile(0.95)));
+  json->Field("p99_ms", MsOf(metrics.total_us.ValueAtQuantile(0.99)));
+  json->Field("mean_ms", metrics.total_us.Mean() / 1000.0);
+  json->Field("service_p50_ms", MsOf(metrics.service_us.ValueAtQuantile(0.50)));
+  json->Field("queue_p50_ms", MsOf(metrics.queue_us.ValueAtQuantile(0.50)));
+}
+
+void EmitBatching(bench::JsonArrayWriter* json, const ServerMetrics& metrics,
+                  const RowCache::StatsSnapshot& cache_window) {
+  json->Field("batches", metrics.batches);
+  json->Field("mean_batch_size", metrics.MeanBatchSize());
+  json->Field("shared_view_batches", metrics.shared_view_batches);
+  json->Field("fallback_batches", metrics.fallback_batches);
+  json->Field("batch_size_dist", BatchSizeDist(metrics));
+  json->Field("cache_hit_rate", cache_window.HitRate());
+  json->Field("cache_lookups", cache_window.lookups());
+}
+
+int Run(const HarnessConfig& config, bench::JsonArrayWriter* json) {
+  DatasetOptions ds_options;
+  ds_options.scale = config.scale;
+  ds_options.seed = 2020;
+  Dataset ds = MakeEpinions(ds_options);
+  std::printf("fixture: %s n=%u edges=%llu\n", ds.name.c_str(),
+              ds.graph.num_nodes(),
+              static_cast<unsigned long long>(ds.graph.num_edges()));
+
+  // The skill index is shared by every mode (it only drives the
+  // LeastCompatible skill order and is deterministic in its seed).
+  auto index_cache = std::make_shared<RowCache>();
+  auto index_oracle =
+      MakeOracle(ds.graph, CompatKind::kSPM, OracleParams{}, index_cache);
+  Rng index_rng(9);
+  SkillCompatibilityIndex index(index_oracle.get(), ds.skills, 200, &index_rng);
+
+  serve::WorkloadOptions wl;
+  wl.task_size = config.task_size;
+  wl.zipf_exponent = config.zipf;
+  wl.seed = config.seed;
+  wl.num_requests = config.requests;
+  const std::vector<TeamRequest> requests = GenerateRequests(ds.skills, wl);
+
+  // The row working set of the stream: every holder of every requested
+  // skill (each row costs ~5 bytes per graph node in the cache).
+  std::vector<NodeId> touched;
+  for (const TeamRequest& req : requests) {
+    const std::vector<NodeId> universe =
+        HolderUniverse(ds.skills, req.task.skills());
+    touched.insert(touched.end(), universe.begin(), universe.end());
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  const size_t row_bytes = static_cast<size_t>(ds.graph.num_nodes()) * 5;
+  const size_t working_set_bytes = touched.size() * row_bytes;
+
+  // One shared, *budget-constrained* row cache serves every mode (see
+  // HarnessConfig::cache_fraction: serving heavy traffic means the row
+  // working set does not fit — SPM rows are counting BFS traversals of
+  // ~100 µs each, and recomputing them on eviction-driven misses is the
+  // dominant steady-state cost). The unbatched baseline prewarms one
+  // holder universe per request; the batched scheduler prewarms once per
+  // group — that row-production amortization is what this harness
+  // measures. A warm pass first brings the LRU to its steady state so
+  // neither mode pays one-time cold-start costs inside its window;
+  // per-window hit rates come from lock-free snapshot deltas.
+  RowCacheOptions cache_options;
+  cache_options.max_bytes =
+      config.cache_mb > 0
+          ? config.cache_mb << 20
+          : std::max<size_t>(
+                row_bytes * 8,
+                static_cast<size_t>(static_cast<double>(working_set_bytes) *
+                                    config.cache_fraction));
+  auto warm_cache = std::make_shared<RowCache>(cache_options);
+  {
+    auto oracle =
+        MakeOracle(ds.graph, CompatKind::kSPM, OracleParams{}, warm_cache);
+    Timer warm_timer;
+    oracle->StreamRows(touched, /*threads=*/0,
+                       [](size_t, const CompatibilityOracle::Row&) {});
+    std::printf(
+        "working set %zu rows (%.1f MB), cache budget %.1f MB, "
+        "prewarmed in %.2f s\n",
+        touched.size(),
+        static_cast<double>(working_set_bytes) / (1 << 20),
+        static_cast<double>(cache_options.max_bytes) / (1 << 20),
+        warm_timer.Seconds());
+  }
+
+  // Direct reference pass: every served response must match this bit for
+  // bit, whatever the batching.
+  std::vector<TeamResult> reference;
+  {
+    auto oracle =
+        MakeOracle(ds.graph, CompatKind::kSPM, OracleParams{}, warm_cache);
+    GreedyTeamFormer former(oracle.get(), ds.skills, &index,
+                            ServeGreedyParams(config));
+    reference.reserve(requests.size());
+    for (const TeamRequest& req : requests) {
+      Rng rng(req.rng_seed);
+      reference.push_back(former.Form(req.task, &rng));
+    }
+  }
+
+  // Saturated throughput, batched vs one-task-per-view, equal workers,
+  // both on the shared steady-state cache (each run inherits the LRU mix
+  // the previous pass left — approximately the same stationary state
+  // either way, since the stream is identical). The burst submits the
+  // whole stream up front, so the admission queue stays deep and the
+  // scheduler sees its full grouping window — peak service rate, no
+  // client-thread scheduling noise.
+  double throughput[2] = {0, 0};
+  const char* mode_names[2] = {"one_task_per_view", "batched"};
+  for (int mode = 0; mode < 2; ++mode) {
+    const uint32_t max_batch = mode == 0 ? 1 : config.batch_cap;
+    const RowCache::StatsSnapshot before = warm_cache->SnapshotCounters();
+    TeamFormationServer server(ds.graph, ds.skills, &index, CompatKind::kSPM,
+                               warm_cache, MakeServerOptions(config, max_batch));
+    WorkloadResult run = RunBurst(&server, requests);
+    server.Shutdown();
+    const ServerMetrics metrics = server.Metrics();
+    const RowCache::StatsSnapshot cache_window = metrics.cache - before;
+    VerifyAgainstReference(reference, run, mode_names[mode]);
+    throughput[mode] =
+        run.seconds > 0 ? static_cast<double>(run.completed) / run.seconds : 0;
+    std::printf(
+        "%-18s %6.1f req/s  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  "
+        "batches %llu (mean size %.2f)  cache hit %.1f%%\n",
+        mode_names[mode], throughput[mode],
+        MsOf(metrics.total_us.ValueAtQuantile(0.50)),
+        MsOf(metrics.total_us.ValueAtQuantile(0.95)),
+        MsOf(metrics.total_us.ValueAtQuantile(0.99)),
+        static_cast<unsigned long long>(metrics.batches),
+        metrics.MeanBatchSize(), cache_window.HitRate() * 100.0);
+    if (json != nullptr) {
+      json->BeginObject();
+      json->Field("experiment", "burst");
+      json->Field("mode", mode_names[mode]);
+      EmitCommon(json, ds, config);
+      json->Field("batch_cap", max_batch);
+      json->Field("min_jaccard", config.min_jaccard);
+      EmitCacheShape(json, working_set_bytes, cache_options.max_bytes);
+      json->Field("seconds", run.seconds);
+      json->Field("throughput_rps", throughput[mode]);
+      EmitLatency(json, metrics);
+      EmitBatching(json, metrics, cache_window);
+      json->Field("identical", true);
+      json->EndObject();
+    }
+  }
+
+  const double speedup =
+      throughput[0] > 0 ? throughput[1] / throughput[0] : 0;
+  std::printf("batched vs one-task-per-view speedup: %.2fx\n", speedup);
+  if (json != nullptr) {
+    json->BeginObject();
+    json->Field("experiment", "batched_speedup");
+    EmitCommon(json, ds, config);
+    json->Field("batch_cap", config.batch_cap);
+    json->Field("baseline_rps", throughput[0]);
+    json->Field("batched_rps", throughput[1]);
+    json->Field("speedup", speedup);
+    json->EndObject();
+  }
+
+  // Open-loop latency under partial load (batched mode): Poisson arrivals
+  // below saturation, so the percentiles reflect queueing + service
+  // rather than closed-loop pushback.
+  const double qps =
+      config.qps > 0 ? config.qps : std::max(1.0, throughput[1] * 0.6);
+  {
+    const RowCache::StatsSnapshot before = warm_cache->SnapshotCounters();
+    TeamFormationServer server(ds.graph, ds.skills, &index, CompatKind::kSPM,
+                               warm_cache,
+                               MakeServerOptions(config, config.batch_cap));
+    Rng arrivals(config.seed + 1);
+    WorkloadResult run = RunOpenLoop(&server, requests, qps, &arrivals);
+    server.Shutdown();
+    const ServerMetrics metrics = server.Metrics();
+    const RowCache::StatsSnapshot cache_window = metrics.cache - before;
+    std::printf(
+        "open loop @ %.1f req/s: %llu served, %llu dropped, p50 %.2f ms  "
+        "p95 %.2f ms  p99 %.2f ms\n",
+        qps, static_cast<unsigned long long>(run.completed),
+        static_cast<unsigned long long>(run.dropped),
+        MsOf(metrics.total_us.ValueAtQuantile(0.50)),
+        MsOf(metrics.total_us.ValueAtQuantile(0.95)),
+        MsOf(metrics.total_us.ValueAtQuantile(0.99)));
+    if (json != nullptr) {
+      json->BeginObject();
+      json->Field("experiment", "open_loop");
+      json->Field("mode", "batched");
+      EmitCommon(json, ds, config);
+      json->Field("batch_cap", config.batch_cap);
+      json->Field("qps_target", qps);
+      json->Field("submitted", run.submitted);
+      json->Field("dropped", run.dropped);
+      json->Field("seconds", run.seconds);
+      EmitLatency(json, metrics);
+      EmitBatching(json, metrics, cache_window);
+      json->EndObject();
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tfsn
+
+int main(int argc, char** argv) {
+  tfsn::Flags flags(argc, argv);
+  const bool quick = flags.GetBool("quick");
+  tfsn::HarnessConfig config;
+  config.scale = flags.GetDouble("scale", quick ? 0.08 : 0.12);
+  config.workers = static_cast<uint32_t>(flags.GetInt("workers", 2));
+  config.batch_cap = static_cast<uint32_t>(flags.GetInt("batch_cap", 16));
+  config.requests =
+      static_cast<uint32_t>(flags.GetInt("requests", quick ? 150 : 400));
+  config.task_size = static_cast<uint32_t>(flags.GetInt("task_size", 3));
+  config.zipf = flags.GetDouble("zipf", 1.0);
+  config.max_seeds = static_cast<uint32_t>(flags.GetInt("max_seeds", 16));
+  config.min_jaccard = flags.GetDouble("min_jaccard", 0.05);
+  config.qps = flags.GetDouble("qps", 0);
+  config.cache_fraction = flags.GetDouble("cache_frac", 0.3);
+  config.cache_mb = static_cast<size_t>(flags.GetInt("cache_mb", 0));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  const std::string json_path = flags.GetString("json");
+  tfsn::bench::JsonArrayWriter json;
+  const int rc =
+      tfsn::Run(config, json_path.empty() ? nullptr : &json);
+  if (rc == 0 && !json_path.empty() && !json.WriteFile(json_path)) return 1;
+  return rc;
+}

@@ -4,6 +4,8 @@
 //   tfsn_cli compat  --dataset=slashdot --u=3 --v=17 [--relation=spm]
 //   tfsn_cli team    --dataset=epinions --scale=0.05 --skills=1,4,9
 //                    [--relation=spm] [--algorithm=lcmd|lcmc|random] [--topk=3]
+//   tfsn_cli serve   --dataset=epinions --scale=0.08 --qps=50 --duration=5
+//                    [--workers=2] [--batch-cap=16] [--seed=1] [--replay]
 //   tfsn_cli export  --dataset=wikipedia --out=wiki.edges --skills_out=wiki.skills
 //
 // Global performance flags: --threads=N computes oracle rows (and the
@@ -16,6 +18,7 @@
 //
 // Exit codes: 0 success, 1 usage error, 2 no team found.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -48,6 +51,15 @@ int Usage() {
                "  team --skills=1,2,3        form a team [--relation=spm]\n"
                "       [--algorithm=lcmd]    lcmd|lcmc|random\n"
                "       [--topk=K]            emit the K best teams\n"
+               "  serve                      run the team-formation server\n"
+               "       [--qps=50]            open-loop arrival rate\n"
+               "       [--duration=5]        seconds of offered load\n"
+               "       [--workers=2]         worker pool size\n"
+               "       [--batch-cap=16]      max requests per shared view\n"
+               "       [--seed=1]            workload seed\n"
+               "       [--replay]            deterministic burst replay:\n"
+               "                             prints a team digest two runs\n"
+               "                             reproduce bit for bit\n"
                "  export --out=F             write graph [--skills_out=G]\n"
                "global: --threads=N row-computation workers (0 = auto)\n"
                "        --cache-mb=M shared row-cache budget (default 256)\n"
@@ -78,11 +90,8 @@ uint32_t ThreadsOf(const Flags& flags) {
 
 std::shared_ptr<RowCache> CacheOf(const Flags& flags) {
   RowCacheOptions options;
-  // Accept both spellings so the CLI and the benches share one knob name.
-  options.max_bytes =
-      static_cast<size_t>(flags.Has("cache_mb") ? flags.GetInt("cache_mb", 256)
-                                                : flags.GetInt("cache-mb", 256))
-      << 20;
+  // Flags normalizes --cache-mb and --cache_mb to one key.
+  options.max_bytes = static_cast<size_t>(flags.GetInt("cache_mb", 256)) << 20;
   return std::make_shared<RowCache>(options);
 }
 
@@ -163,12 +172,9 @@ int CmdTeam(const Flags& flags) {
       ds.graph.num_nodes() > 2000 ? 300 : 0, &rng, threads);
   GreedyParams params;
   params.prefetch_threads = threads == 1 ? 0 : ResolveThreads(threads);
-  // Accept both spellings, like --cache-mb / --cache_mb.
-  params.seed_threads = static_cast<uint32_t>(
-      flags.Has("seed_threads") ? flags.GetInt("seed_threads", 1)
-                                : flags.GetInt("seed-threads", 1));
-  std::string path = flags.Has("eval_path") ? flags.GetString("eval_path", "auto")
-                                            : flags.GetString("eval-path", "auto");
+  params.seed_threads =
+      static_cast<uint32_t>(flags.GetInt("seed_threads", 1));
+  std::string path = flags.GetString("eval_path", "auto");
   if (path == "view") {
     params.eval_path = GreedyEvalPath::kView;
   } else if (path == "oracle") {
@@ -204,6 +210,108 @@ int CmdTeam(const Flags& flags) {
   return 0;
 }
 
+int CmdServe(const Flags& flags) {
+  Dataset ds = LoadInput(flags);
+  CompatKind kind = RelationOf(flags);
+  const uint32_t threads = ThreadsOf(flags);
+  auto cache = CacheOf(flags);
+  Rng index_rng(static_cast<uint64_t>(flags.GetInt("seed", 1)) + 1);
+  auto index_oracle = MakeOracle(ds.graph, kind, OracleParams{}, cache);
+  SkillCompatibilityIndex index(
+      index_oracle.get(), ds.skills,
+      ds.graph.num_nodes() > 2000 ? 300 : 0, &index_rng, threads);
+
+  serve::ServerOptions options;
+  options.workers =
+      std::max<uint32_t>(1, static_cast<uint32_t>(flags.GetInt("workers", 2)));
+  options.batch.max_batch = std::max<uint32_t>(
+      1, static_cast<uint32_t>(flags.GetInt("batch_cap", 16)));
+  options.greedy.max_seeds =
+      static_cast<uint32_t>(flags.GetInt("max_seeds", 16));
+  options.greedy.skill_policy = SkillPolicy::kLeastCompatible;
+  // The global --threads knob parallelizes row production inside each
+  // batch's StreamRows prewarm (0 = hardware concurrency / TFSN_THREADS).
+  options.view_build_threads = threads;
+
+  const double qps = flags.GetDouble("qps", 50.0);
+  const double duration = flags.GetDouble("duration", 5.0);
+  const bool replay = flags.GetBool("replay");
+  // qps/duration pace the open loop and (absent --requests) size the
+  // stream; a replay with an explicit --requests uses neither.
+  if ((qps <= 0 || duration <= 0) && !(replay && flags.Has("requests"))) {
+    std::fprintf(stderr, "serve needs --qps > 0 and --duration > 0\n");
+    return 1;
+  }
+
+  serve::WorkloadOptions wl;
+  wl.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  wl.task_size = static_cast<uint32_t>(flags.GetInt("task_size", 3));
+  wl.zipf_exponent = flags.GetDouble("zipf", 1.0);
+  wl.num_requests = flags.Has("requests")
+                        ? static_cast<uint32_t>(flags.GetInt("requests", 0))
+                        : static_cast<uint32_t>(qps * duration);
+  if (wl.num_requests == 0) {
+    std::fprintf(stderr, "serve: empty request stream\n");
+    return 1;
+  }
+  options.queue_capacity = replay ? wl.num_requests + 1 : 1024;
+  std::vector<serve::TeamRequest> requests =
+      serve::GenerateRequests(ds.skills, wl);
+
+  const RowCache::StatsSnapshot cache_before = cache->SnapshotCounters();
+  serve::TeamFormationServer server(ds.graph, ds.skills, &index, kind, cache,
+                                    options);
+  serve::WorkloadResult run;
+  if (replay) {
+    // Burst replay: no pacing, no drops — the digest below is a pure
+    // function of (dataset, relation, workload seed, greedy params).
+    run = serve::RunBurst(&server, std::move(requests));
+  } else {
+    Rng arrivals(wl.seed + 0x9e37);
+    run = serve::RunOpenLoop(&server, std::move(requests), qps, &arrivals);
+  }
+  server.Shutdown();
+  const serve::ServerMetrics metrics = server.Metrics();
+  const RowCache::StatsSnapshot cache_window =
+      metrics.cache - cache_before;
+
+  std::printf("served    : %llu requests (%llu dropped) in %.2f s "
+              "(%.1f req/s)\n",
+              static_cast<unsigned long long>(run.completed),
+              static_cast<unsigned long long>(run.dropped), run.seconds,
+              run.seconds > 0 ? run.completed / run.seconds : 0.0);
+  std::printf("latency   : p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n",
+              metrics.total_us.ValueAtQuantile(0.50) / 1000.0,
+              metrics.total_us.ValueAtQuantile(0.95) / 1000.0,
+              metrics.total_us.ValueAtQuantile(0.99) / 1000.0);
+  std::printf("batching  : %llu batches, mean size %.2f (cap %u)\n",
+              static_cast<unsigned long long>(metrics.batches),
+              metrics.MeanBatchSize(), options.batch.max_batch);
+  std::printf("row cache : %.1f%% hit rate over %llu lookups\n",
+              cache_window.HitRate() * 100.0,
+              static_cast<unsigned long long>(cache_window.lookups()));
+  uint64_t solved = 0;
+  for (const serve::TeamResponse& resp : run.responses) {
+    solved += resp.result.found;
+  }
+  std::printf("solved    : %llu/%llu\n",
+              static_cast<unsigned long long>(solved),
+              static_cast<unsigned long long>(run.completed));
+  if (replay) {
+    // FNV-1a over (id, members, cost) in id order: bit-identical teams
+    // <=> equal digests.
+    Fnv1a digest;
+    for (const serve::TeamResponse& resp : run.responses) {
+      digest.Mix(resp.id);
+      digest.Mix(resp.result.found ? resp.result.cost : ~0ull);
+      for (NodeId member : resp.result.members) digest.Mix(member);
+    }
+    std::printf("digest    : %016llx\n",
+                static_cast<unsigned long long>(digest.digest()));
+  }
+  return 0;
+}
+
 int CmdExport(const Flags& flags) {
   if (!flags.Has("out")) return Usage();
   Dataset ds = LoadInput(flags);
@@ -225,6 +333,7 @@ int main(int argc, char** argv) {
   if (command == "stats") return CmdStats(flags);
   if (command == "compat") return CmdCompat(flags);
   if (command == "team") return CmdTeam(flags);
+  if (command == "serve") return CmdServe(flags);
   if (command == "export") return CmdExport(flags);
   return Usage();
 }

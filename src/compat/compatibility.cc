@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/compat/ms_signed_bfs.h"
+#include "src/util/fnv1a.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
 
@@ -18,16 +19,11 @@ namespace {
 // collisions (the fingerprint fills the high 32 bits of every key).
 class ConfigHash {
  public:
-  void Mix(uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h_ ^= (v >> (i * 8)) & 0xff;
-      h_ *= 0x100000001b3ull;
-    }
-  }
-  uint64_t KeyBase() const { return (h_ >> 32) << 32; }
+  void Mix(uint64_t v) { h_.Mix(v); }
+  uint64_t KeyBase() const { return (h_.digest() >> 32) << 32; }
 
  private:
-  uint64_t h_ = 0xcbf29ce484222325ull;
+  Fnv1a h_;
 };
 
 uint64_t MakeKeyBase(const SignedGraph* g, CompatKind kind, RowKernelFn kernel,

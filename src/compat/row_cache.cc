@@ -91,12 +91,22 @@ void RowCache::EvictLocked(Shard* shard) {
   }
 }
 
-RowCacheStats RowCache::stats() const {
-  RowCacheStats s;
+RowCache::StatsSnapshot RowCache::SnapshotCounters() const {
+  StatsSnapshot s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.insertions = insertions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+RowCacheStats RowCache::stats() const {
+  const StatsSnapshot counters = SnapshotCounters();
+  RowCacheStats s;
+  s.hits = counters.hits;
+  s.misses = counters.misses;
+  s.evictions = counters.evictions;
+  s.insertions = counters.insertions;
   for (uint32_t i = 0; i < num_shards_; ++i) {
     const Shard& shard = shards_[i];
     std::lock_guard<std::mutex> lock(shard.mu);

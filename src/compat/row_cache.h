@@ -59,6 +59,32 @@ struct RowCacheStats {
 
 class RowCache {
  public:
+  /// Copyable point-in-time copy of the monotonic counters, read with
+  /// relaxed atomic loads only — unlike stats(), taking one never touches
+  /// a shard mutex, so metrics loops (e.g. the serving layer's per-window
+  /// cache hit rate) can snapshot at arbitrary frequency without stalling
+  /// row lookups. Subtract two snapshots to get a window's deltas.
+  struct StatsSnapshot {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t insertions = 0;
+
+    /// Counter deltas `this - earlier` (counters are monotonic, so the
+    /// result is well-defined when `earlier` was taken first).
+    StatsSnapshot operator-(const StatsSnapshot& earlier) const {
+      return {hits - earlier.hits, misses - earlier.misses,
+              evictions - earlier.evictions, insertions - earlier.insertions};
+    }
+
+    uint64_t lookups() const { return hits + misses; }
+    /// hits / (hits + misses); 0 when no lookups happened.
+    double HitRate() const {
+      const uint64_t total = lookups();
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
   explicit RowCache(RowCacheOptions options = {});
   RowCache(const RowCache&) = delete;
   RowCache& operator=(const RowCache&) = delete;
@@ -77,6 +103,9 @@ class RowCache {
 
   /// Aggregated counters (locks each shard briefly for occupancy).
   RowCacheStats stats() const;
+
+  /// Lock-free counter snapshot (no occupancy; see StatsSnapshot).
+  StatsSnapshot SnapshotCounters() const;
 
   /// Drops every cached row (counters are retained).
   void Clear();

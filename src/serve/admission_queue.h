@@ -1,0 +1,179 @@
+// Bounded MPMC admission queue with backpressure and clean shutdown.
+//
+// The serving layer's front door: producers (workload generators, the CLI,
+// eventually an RPC handler) push TeamRequests, consumers (the batching
+// scheduler on behalf of the worker pool) pop them. The queue is a plain
+// mutex + two condition variables over a ring-ish deque — at team-formation
+// request rates (each request costs milliseconds of formation work) the
+// lock is never the bottleneck, and the simple structure makes the
+// shutdown semantics easy to get right:
+//
+//   * Bounded: Push blocks while the queue is full (backpressure into the
+//     caller), TryPush refuses instead — the open-loop workload generator
+//     uses TryPush so a saturated server drops rather than stalls arrivals.
+//   * Close(): producers fail fast (Push/TryPush return false), consumers
+//     drain every item already admitted, then Pop returns false. Nothing
+//     admitted is ever lost — the server relies on this to fulfill every
+//     promise on shutdown.
+//   * FIFO: items pop in push order (per the total order of push
+//     completions under the lock).
+//
+// All member functions are safe to call from any number of threads.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace tfsn::serve {
+
+/// Outcome of an interruptible pop (see AdmissionQueue::PopOr).
+enum class PopStatus {
+  kItem,    // *out holds the popped item
+  kWakeup,  // no item, not closed — the caller's wakeup predicate fired
+  kClosed,  // closed and fully drained — no more items, ever
+};
+
+template <typename T>
+class AdmissionQueue {
+ public:
+  /// `capacity` must be >= 1.
+  explicit AdmissionQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Blocks while the queue is full; returns false (item dropped) iff the
+  /// queue was closed before space opened up.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking admission: on success moves from *item and returns true;
+  /// when full or closed returns false and leaves *item untouched.
+  bool TryPush(T* item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(*item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty; returns false iff the queue is
+  /// closed AND fully drained (every admitted item is popped first).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Interruptible pop: blocks until an item arrives, the queue closes,
+  /// or the caller's `wakeup` predicate turns true (kWakeup). `wakeup` is
+  /// evaluated under the queue lock, so it must be cheap and lock-free
+  /// (e.g. an atomic load); pair it with Kick() from whichever thread
+  /// makes the predicate true. The batching scheduler waits this way so
+  /// an idle consumer sleeps fully (no polling) yet still wakes when a
+  /// sibling worker parks rejected requests in the pending window —
+  /// work that exists outside the queue and cannot signal not_empty_.
+  /// An available item always wins over both other outcomes.
+  template <typename Pred>
+  PopStatus PopOr(T* out, Pred&& wakeup) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this, &wakeup] {
+      return closed_ || !items_.empty() || wakeup();
+    });
+    if (!items_.empty()) {
+      *out = std::move(items_.front());
+      items_.pop_front();
+      lock.unlock();
+      not_full_.notify_one();
+      return PopStatus::kItem;
+    }
+    return closed_ ? PopStatus::kClosed : PopStatus::kWakeup;
+  }
+
+  /// Wakes every PopOr waiter so it re-evaluates its wakeup predicate.
+  void Kick() { not_empty_.notify_all(); }
+
+  /// Non-blocking pop; false when currently empty (closed or not).
+  bool TryPop(T* out) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) return false;
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_all();
+    return true;
+  }
+
+  /// Appends up to `max_items` immediately-available items to `out`
+  /// without blocking; returns how many were taken. The batching
+  /// scheduler uses this to widen its grouping window beyond the single
+  /// blocking Pop that woke it.
+  size_t DrainInto(std::vector<T>* out, size_t max_items) {
+    size_t taken = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      while (taken < max_items && !items_.empty()) {
+        out->push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++taken;
+      }
+    }
+    if (taken > 0) not_full_.notify_all();
+    return taken;
+  }
+
+  /// Closes admission: subsequent and blocked pushes fail, pops drain the
+  /// remaining items then fail. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace tfsn::serve

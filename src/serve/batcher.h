@@ -1,0 +1,121 @@
+// Skill-footprint batching scheduler.
+//
+// The expensive part of serving one team-formation request is per-task
+// shared state: the row-cache prewarm of the task's holder universe and
+// the dense TaskCompatView the greedy seed loop runs against. Requests
+// whose holder universes overlap can share both — one view built for the
+// *union* of their tasks serves every member bit-identically (see
+// GreedyTeamFormer::FormWithView) — so the scheduler's job is to group
+// queued requests by footprint overlap without letting the union view
+// outgrow its byte budget.
+//
+// Grouping is greedy and FIFO-anchored: the oldest pending request seeds
+// the batch (bounding starvation — every request is served no later than
+// scan_window batch decisions after reaching the pending window), then
+// later arrivals join while
+//   * the Jaccard similarity |A ∩ U| / |A ∪ U| between their holder
+//     universe A and the batch's accumulated union U stays above
+//     min_jaccard (duplicates and subsets always pass),
+//   * the union view's estimated bytes stay under max_view_bytes
+//     (subsets skip this check too — they cannot grow the dense
+//     matrices, only add holder-mask rows), and
+//   * the batch stays under max_batch requests.
+// A rejected request simply stays pending and seeds or joins a later
+// batch; admission order among pending requests is preserved per drain
+// (concurrent workers draining simultaneously may interleave, so the
+// window is only approximately FIFO across workers — results never
+// depend on it).
+//
+// NextBatch is safe to call from all workers concurrently; one mutex
+// serializes the grouping decision (microseconds against the milliseconds
+// a batch takes to serve — footprint sorting happens outside it).
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "src/graph/signed_graph.h"
+#include "src/serve/admission_queue.h"
+#include "src/serve/types.h"
+#include "src/skills/skills.h"
+
+namespace tfsn::serve {
+
+/// Grouping knobs. max_batch = 1 degenerates to one-task-per-view — the
+/// unbatched baseline the throughput harness compares against.
+struct BatchPolicy {
+  /// Requests per batch (>= 1).
+  uint32_t max_batch = 16;
+  /// Minimum holder-universe Jaccard similarity against the batch union
+  /// for a request to join. 0 admits everything that fits the byte cap.
+  double min_jaccard = 0.05;
+  /// Cap on the estimated union-view footprint
+  /// (TaskCompatView::EstimateBytes).
+  size_t max_view_bytes = 64ull << 20;
+  /// How many queued requests the scheduler holds pending for grouping.
+  uint32_t scan_window = 64;
+};
+
+/// One scheduled group plus the precomputed union footprint the worker
+/// builds the shared view from.
+struct RequestBatch {
+  std::vector<ScheduledRequest> items;
+  /// Union of the member tasks' skills.
+  Task union_task;
+  /// Sorted, deduplicated union of the members' holder universes ==
+  /// the holder universe of union_task.
+  std::vector<NodeId> universe;
+};
+
+class BatchScheduler {
+ public:
+  /// `skills` must outlive the scheduler. `sbph` selects the doubled
+  /// bit-matrix term in the view byte estimate.
+  BatchScheduler(const SkillAssignment& skills, bool sbph, BatchPolicy policy);
+
+  /// Forms the next batch from `queue`, blocking while neither pending
+  /// requests nor queued ones exist. Returns false when the queue is
+  /// closed and everything (queue and pending window) is drained.
+  bool NextBatch(AdmissionQueue<ScheduledRequest>* queue, RequestBatch* out);
+
+  /// Requests currently parked in the grouping window.
+  size_t pending() const;
+
+  const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  /// A pending request with its precomputed footprint.
+  struct Pending {
+    ScheduledRequest item;
+    std::vector<NodeId> universe;  // sorted holder union of item's task
+  };
+
+  /// Computes the footprint of `item` (called with mu_ NOT held — the
+  /// sort is the expensive part of admission).
+  Pending Prepared(ScheduledRequest item) const;
+
+  const SkillAssignment& skills_;
+  const bool sbph_;
+  const BatchPolicy policy_;
+  mutable std::mutex mu_;
+  std::deque<Pending> pending_;
+  /// True while requests sit in pending_ — the PopOr wakeup predicate of
+  /// workers blocked on an empty queue, so a sibling's rejected leftovers
+  /// get picked up immediately instead of waiting out a poll interval.
+  std::atomic<bool> leftovers_{false};
+};
+
+/// |a ∩ b| / |a ∪ b| over two sorted, deduplicated id vectors (1 when both
+/// are empty). Exposed for tests.
+double JaccardSorted(const std::vector<NodeId>& a, const std::vector<NodeId>& b);
+
+/// Sorted union of two sorted, deduplicated vectors.
+std::vector<NodeId> UnionSorted(const std::vector<NodeId>& a,
+                                const std::vector<NodeId>& b);
+
+}  // namespace tfsn::serve

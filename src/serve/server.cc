@@ -1,0 +1,161 @@
+#include "src/serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/team/task_view.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace tfsn::serve {
+
+namespace {
+
+uint64_t MicrosBetween(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return static_cast<uint64_t>(std::max<int64_t>(
+      0, std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+             .count()));
+}
+
+}  // namespace
+
+TeamFormationServer::TeamFormationServer(const SignedGraph& graph,
+                                         const SkillAssignment& skills,
+                                         const SkillCompatibilityIndex* index,
+                                         CompatKind kind,
+                                         std::shared_ptr<RowCache> cache,
+                                         ServerOptions options)
+    : skills_(skills),
+      options_(options),
+      cache_(std::move(cache)),
+      queue_(options.queue_capacity),
+      scheduler_(skills, kind == CompatKind::kSBPH, options.batch) {
+  TFSN_CHECK(cache_ != nullptr);
+  options_.workers = std::max<uint32_t>(1, options_.workers);
+  // The worker pool is the parallelism; nested seed threads would
+  // oversubscribe. Results are identical for every setting.
+  options_.greedy.seed_threads = 1;
+  workers_.reserve(options_.workers);
+  for (uint32_t w = 0; w < options_.workers; ++w) {
+    auto worker = std::make_unique<Worker>();
+    worker->oracle = MakeOracle(graph, kind, OracleParams{}, cache_);
+    worker->former = std::make_unique<GreedyTeamFormer>(
+        worker->oracle.get(), skills_, index, options_.greedy);
+    worker->batch_size_counts.assign(options_.batch.max_batch + 1, 0);
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_) {
+    worker->thread =
+        std::thread(&TeamFormationServer::WorkerLoop, this, worker.get());
+  }
+}
+
+TeamFormationServer::~TeamFormationServer() { Shutdown(); }
+
+bool TeamFormationServer::Submit(TeamRequest request,
+                                 std::future<TeamResponse>* response) {
+  ScheduledRequest sr;
+  sr.request = std::move(request);
+  sr.admitted = std::chrono::steady_clock::now();
+  std::future<TeamResponse> fut = sr.promise.get_future();
+  if (!queue_.Push(std::move(sr))) return false;
+  *response = std::move(fut);
+  return true;
+}
+
+bool TeamFormationServer::TrySubmit(TeamRequest request,
+                                    std::future<TeamResponse>* response) {
+  ScheduledRequest sr;
+  sr.request = std::move(request);
+  sr.admitted = std::chrono::steady_clock::now();
+  std::future<TeamResponse> fut = sr.promise.get_future();
+  if (!queue_.TryPush(&sr)) return false;
+  *response = std::move(fut);
+  return true;
+}
+
+void TeamFormationServer::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    queue_.Close();  // workers drain every admitted request, then exit
+    for (auto& worker : workers_) {
+      if (worker->thread.joinable()) worker->thread.join();
+    }
+  });
+}
+
+void TeamFormationServer::WorkerLoop(Worker* worker) {
+  RequestBatch batch;
+  while (scheduler_.NextBatch(&queue_, &batch)) {
+    const uint32_t batch_size = static_cast<uint32_t>(batch.items.size());
+    // One shared view (and one StreamRows cache prewarm of the union
+    // holder universe) serves the whole group. nullptr — union over the
+    // byte budget or graph too large for dense uint16 distances — falls
+    // back to standalone Form per request, which is bit-identical.
+    std::unique_ptr<TaskCompatView> view;
+    if (!batch.union_task.empty()) {
+      view = TaskCompatView::BuildFromUniverse(
+          worker->oracle.get(), skills_, batch.union_task,
+          std::move(batch.universe), options_.view_build_threads,
+          options_.batch.max_view_bytes);
+    }
+    for (ScheduledRequest& sr : batch.items) {
+      const auto service_start = std::chrono::steady_clock::now();
+      Rng rng(sr.request.rng_seed);
+      TeamResponse resp;
+      resp.id = sr.request.id;
+      resp.batch_size = batch_size;
+      resp.used_shared_view = view != nullptr;
+      resp.result = view != nullptr
+                        ? worker->former->FormWithView(*view, sr.request.task,
+                                                       &rng)
+                        : worker->former->Form(sr.request.task, &rng);
+      const auto done = std::chrono::steady_clock::now();
+      resp.queue_us = MicrosBetween(sr.admitted, service_start);
+      resp.service_us = MicrosBetween(service_start, done);
+      resp.total_us = MicrosBetween(sr.admitted, done);
+      {
+        std::lock_guard<std::mutex> lock(worker->mu);
+        ++worker->completed;
+        worker->queue_us.Record(resp.queue_us);
+        worker->service_us.Record(resp.service_us);
+        worker->total_us.Record(resp.total_us);
+      }
+      sr.promise.set_value(std::move(resp));
+    }
+    {
+      std::lock_guard<std::mutex> lock(worker->mu);
+      ++worker->batches;
+      if (view != nullptr) {
+        ++worker->shared_view_batches;
+      } else {
+        ++worker->fallback_batches;
+      }
+      ++worker->batch_size_counts[std::min<size_t>(
+          batch_size, worker->batch_size_counts.size() - 1)];
+    }
+  }
+}
+
+ServerMetrics TeamFormationServer::Metrics() const {
+  ServerMetrics m;
+  m.batch_size_counts.assign(options_.batch.max_batch + 1, 0);
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    m.completed += worker->completed;
+    m.batches += worker->batches;
+    m.shared_view_batches += worker->shared_view_batches;
+    m.fallback_batches += worker->fallback_batches;
+    m.queue_us.Merge(worker->queue_us);
+    m.service_us.Merge(worker->service_us);
+    m.total_us.Merge(worker->total_us);
+    for (size_t b = 0; b < worker->batch_size_counts.size(); ++b) {
+      m.batch_size_counts[b] += worker->batch_size_counts[b];
+    }
+  }
+  m.cache = cache_->SnapshotCounters();
+  return m;
+}
+
+}  // namespace tfsn::serve

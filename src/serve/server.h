@@ -1,0 +1,154 @@
+// TeamFormationServer: the online serving path from "a task arrives" to
+// "a team is returned".
+//
+//                 Submit / TrySubmit
+//                        │
+//             AdmissionQueue (bounded, backpressure)
+//                        │
+//               BatchScheduler.NextBatch
+//          (skill-footprint Jaccard grouping)
+//                        │
+//        worker pool — per batch, each worker:
+//          1. builds ONE TaskCompatView for the batch's union task
+//             (one StreamRows prewarm of the union holder universe),
+//          2. runs GreedyTeamFormer::FormWithView per member request,
+//          3. fulfills the promises and records latency.
+//
+// Teams are bit-identical to calling GreedyTeamFormer::Form directly with
+// the same GreedyParams and per-request Rng(rng_seed) — batching changes
+// only where the work happens, never the answer — so results are
+// reproducible across worker counts, batch caps, and arrival orders.
+//
+// Each worker owns its own CompatibilityOracle over the one shared
+// RowCache (the oracle's scalar row pinning is not thread-safe; the cache
+// is), its own GreedyTeamFormer, and a private metrics block merged on
+// demand by Metrics(). Latency is tracked per request with
+// util/latency_histogram; cache hit rate comes from lock-free
+// RowCache::StatsSnapshot deltas.
+
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/compat/compatibility.h"
+#include "src/compat/skill_index.h"
+#include "src/graph/signed_graph.h"
+#include "src/serve/admission_queue.h"
+#include "src/serve/batcher.h"
+#include "src/serve/types.h"
+#include "src/skills/skills.h"
+#include "src/team/greedy.h"
+#include "src/util/latency_histogram.h"
+
+namespace tfsn::serve {
+
+struct ServerOptions {
+  /// Worker threads (>= 1). Each serves whole batches end to end.
+  uint32_t workers = 1;
+  /// Admission queue capacity (backpressure bound).
+  size_t queue_capacity = 1024;
+  /// Batching policy; max_batch = 1 is the one-task-per-view baseline.
+  BatchPolicy batch;
+  /// Greedy configuration every worker's former runs with. seed_threads
+  /// is forced to 1 — the worker pool is the parallelism; nested seed
+  /// threads would oversubscribe (results are identical either way).
+  GreedyParams greedy;
+  /// Workers for the per-batch StreamRows prewarm inside the view build.
+  uint32_t view_build_threads = 1;
+};
+
+/// Point-in-time roll-up across workers. Histograms record microseconds.
+struct ServerMetrics {
+  uint64_t completed = 0;
+  uint64_t batches = 0;
+  /// Batches served through a shared union view / through the standalone
+  /// fallback (union view over budget or graph too large for the dense
+  /// representation).
+  uint64_t shared_view_batches = 0;
+  uint64_t fallback_batches = 0;
+  LatencyHistogram queue_us;
+  LatencyHistogram service_us;
+  LatencyHistogram total_us;
+  /// batch_size_counts[b] = batches that grouped exactly b requests
+  /// (index 0 unused).
+  std::vector<uint64_t> batch_size_counts;
+  /// Row-cache counters at snapshot time (monotonic; subtract two
+  /// snapshots for a window).
+  RowCache::StatsSnapshot cache;
+
+  double MeanBatchSize() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(completed) /
+                              static_cast<double>(batches);
+  }
+};
+
+class TeamFormationServer {
+ public:
+  /// Workers start immediately. All referees must outlive the server;
+  /// `index` is required when greedy.skill_policy == kLeastCompatible.
+  /// `cache` must be non-null (it is the state batching amortizes).
+  TeamFormationServer(const SignedGraph& graph, const SkillAssignment& skills,
+                      const SkillCompatibilityIndex* index, CompatKind kind,
+                      std::shared_ptr<RowCache> cache, ServerOptions options);
+  ~TeamFormationServer();
+
+  TeamFormationServer(const TeamFormationServer&) = delete;
+  TeamFormationServer& operator=(const TeamFormationServer&) = delete;
+
+  /// Admits a request, blocking while the queue is full (backpressure).
+  /// On success *response holds the future the worker fulfills. False
+  /// after Shutdown().
+  bool Submit(TeamRequest request, std::future<TeamResponse>* response);
+
+  /// Non-blocking admission: false when the queue is full or the server
+  /// is shut down (the open-loop generator counts those as drops).
+  bool TrySubmit(TeamRequest request, std::future<TeamResponse>* response);
+
+  /// Stops admission, drains every queued request (all futures complete),
+  /// and joins the workers. Idempotent; also run by the destructor.
+  void Shutdown();
+
+  /// Merged per-worker metrics plus a row-cache counter snapshot. Callable
+  /// at any time (workers flush under a per-worker mutex).
+  ServerMetrics Metrics() const;
+
+  const ServerOptions& options() const { return options_; }
+  /// Requests admitted but not yet picked up by the scheduler.
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  /// Per-worker state: oracle + former (not thread-safe, hence owned) and
+  /// the metrics block it updates under its own mutex.
+  struct Worker {
+    std::unique_ptr<CompatibilityOracle> oracle;
+    std::unique_ptr<GreedyTeamFormer> former;
+    std::thread thread;
+    mutable std::mutex mu;
+    uint64_t completed = 0;
+    uint64_t batches = 0;
+    uint64_t shared_view_batches = 0;
+    uint64_t fallback_batches = 0;
+    LatencyHistogram queue_us;
+    LatencyHistogram service_us;
+    LatencyHistogram total_us;
+    std::vector<uint64_t> batch_size_counts;
+  };
+
+  void WorkerLoop(Worker* worker);
+
+  const SkillAssignment& skills_;
+  ServerOptions options_;
+  std::shared_ptr<RowCache> cache_;
+  AdmissionQueue<ScheduledRequest> queue_;
+  BatchScheduler scheduler_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace tfsn::serve

@@ -1,0 +1,61 @@
+// Request/response types of the team-formation serving layer.
+//
+// A TeamRequest is one "form a team for these skills" query as it travels
+// from admission through the batching scheduler to a worker; the
+// TeamResponse carries the formed team back together with the request's
+// latency breakdown and how much batching it benefited from.
+//
+// Determinism contract: a response's team depends only on (task, rng_seed)
+// and the server's greedy configuration — never on arrival order, batch
+// composition, worker count, or queue depth (see
+// GreedyTeamFormer::FormWithView). Replaying a request stream with the
+// same seeds therefore reproduces every team bit for bit.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+
+#include "src/skills/skills.h"
+#include "src/team/greedy.h"
+
+namespace tfsn::serve {
+
+struct TeamRequest {
+  /// Caller-assigned identifier, echoed in the response.
+  uint64_t id = 0;
+  /// The skills the team must cover.
+  Task task;
+  /// Seeds the per-request Rng handed to the greedy former (drives seed
+  /// sampling and the RANDOM user policy).
+  uint64_t rng_seed = 0;
+};
+
+struct TeamResponse {
+  uint64_t id = 0;
+  TeamResult result;
+  /// Requests that shared this request's batch (1 = served alone).
+  uint32_t batch_size = 0;
+  /// True when the batch's shared dense view served this request; false
+  /// when the build fell back and the former ran standalone.
+  bool used_shared_view = false;
+  /// Time from admission to the start of this request's formation, µs.
+  uint64_t queue_us = 0;
+  /// This request's own formation time, µs (the shared view build is not
+  /// attributed to individual requests).
+  uint64_t service_us = 0;
+  /// Admission-to-completion time, µs.
+  uint64_t total_us = 0;
+};
+
+/// A request as it sits in the admission queue: the payload plus the
+/// promise the worker fulfills and the admission timestamp the latency
+/// accounting starts from. Move-only (the promise).
+struct ScheduledRequest {
+  TeamRequest request;
+  std::promise<TeamResponse> promise;
+  std::chrono::steady_clock::time_point admitted;
+};
+
+}  // namespace tfsn::serve

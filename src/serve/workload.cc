@@ -1,0 +1,164 @@
+#include "src/serve/workload.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <iterator>
+#include <thread>
+
+#include "src/util/logging.h"
+#include "src/util/timer.h"
+
+namespace tfsn::serve {
+
+ZipfTaskSampler::ZipfTaskSampler(const SkillAssignment& skills,
+                                 double exponent)
+    : zipf_(1, exponent) {
+  for (SkillId s = 0; s < skills.num_skills(); ++s) {
+    if (skills.Frequency(s) > 0) by_rank_.push_back(s);
+  }
+  TFSN_CHECK(!by_rank_.empty());
+  std::stable_sort(by_rank_.begin(), by_rank_.end(),
+                   [&skills](SkillId a, SkillId b) {
+                     return skills.Frequency(a) > skills.Frequency(b);
+                   });
+  zipf_ = ZipfSampler(static_cast<uint32_t>(by_rank_.size()), exponent);
+}
+
+Task ZipfTaskSampler::Sample(uint32_t task_size, Rng* rng) const {
+  task_size = std::min<uint32_t>(task_size, num_skills());
+  std::vector<SkillId> picked;
+  picked.reserve(task_size);
+  while (picked.size() < task_size) {
+    const SkillId s = by_rank_[zipf_.Sample(rng)];
+    if (std::find(picked.begin(), picked.end(), s) == picked.end()) {
+      picked.push_back(s);
+    }
+  }
+  return Task(std::move(picked));
+}
+
+std::vector<TeamRequest> GenerateRequests(const SkillAssignment& skills,
+                                          const WorkloadOptions& options) {
+  ZipfTaskSampler sampler(skills, options.zipf_exponent);
+  Rng rng(options.seed);
+  std::vector<TeamRequest> requests;
+  requests.reserve(options.num_requests);
+  for (uint32_t i = 0; i < options.num_requests; ++i) {
+    TeamRequest req;
+    req.id = i;
+    req.task = sampler.Sample(options.task_size, &rng);
+    req.rng_seed = rng.Next();
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+namespace {
+
+void SortById(std::vector<TeamResponse>* responses) {
+  std::sort(responses->begin(), responses->end(),
+            [](const TeamResponse& a, const TeamResponse& b) {
+              return a.id < b.id;
+            });
+}
+
+}  // namespace
+
+WorkloadResult RunOpenLoop(TeamFormationServer* server,
+                           std::vector<TeamRequest> requests, double qps,
+                           Rng* arrival_rng) {
+  TFSN_CHECK(qps > 0);
+  WorkloadResult result;
+  std::vector<std::future<TeamResponse>> futures;
+  futures.reserve(requests.size());
+  const auto start = std::chrono::steady_clock::now();
+  double offset_s = 0;
+  Timer timer;
+  for (TeamRequest& req : requests) {
+    // Exponential inter-arrival times make the arrival process Poisson.
+    offset_s += -std::log1p(-arrival_rng->NextDouble()) / qps;
+    std::this_thread::sleep_until(start + std::chrono::duration_cast<
+                                              std::chrono::steady_clock::duration>(
+                                              std::chrono::duration<double>(
+                                                  offset_s)));
+    std::future<TeamResponse> fut;
+    if (server->TrySubmit(std::move(req), &fut)) {
+      futures.push_back(std::move(fut));
+      ++result.submitted;
+    } else {
+      ++result.dropped;
+    }
+  }
+  result.responses.reserve(futures.size());
+  for (std::future<TeamResponse>& fut : futures) {
+    result.responses.push_back(fut.get());
+  }
+  result.seconds = timer.Seconds();
+  result.completed = result.responses.size();
+  SortById(&result.responses);
+  return result;
+}
+
+WorkloadResult RunBurst(TeamFormationServer* server,
+                        std::vector<TeamRequest> requests) {
+  WorkloadResult result;
+  std::vector<std::future<TeamResponse>> futures;
+  futures.reserve(requests.size());
+  Timer timer;
+  for (TeamRequest& req : requests) {
+    std::future<TeamResponse> fut;
+    if (!server->Submit(std::move(req), &fut)) break;  // shut down
+    futures.push_back(std::move(fut));
+    ++result.submitted;
+  }
+  result.responses.reserve(futures.size());
+  for (std::future<TeamResponse>& fut : futures) {
+    result.responses.push_back(fut.get());
+  }
+  result.seconds = timer.Seconds();
+  result.completed = result.responses.size();
+  SortById(&result.responses);
+  return result;
+}
+
+WorkloadResult RunClosedLoop(TeamFormationServer* server,
+                             std::vector<TeamRequest> requests,
+                             uint32_t clients) {
+  clients = std::max<uint32_t>(1, clients);
+  WorkloadResult result;
+  std::atomic<size_t> next{0};
+  std::vector<std::vector<TeamResponse>> per_client(clients);
+  std::atomic<uint64_t> submitted{0};
+  Timer timer;
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(clients);
+    for (uint32_t c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        for (;;) {
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= requests.size()) return;
+          std::future<TeamResponse> fut;
+          if (!server->Submit(std::move(requests[i]), &fut)) return;
+          submitted.fetch_add(1, std::memory_order_relaxed);
+          per_client[c].push_back(fut.get());
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  result.seconds = timer.Seconds();
+  result.submitted = submitted.load();
+  for (std::vector<TeamResponse>& chunk : per_client) {
+    result.responses.insert(result.responses.end(),
+                            std::make_move_iterator(chunk.begin()),
+                            std::make_move_iterator(chunk.end()));
+  }
+  result.completed = result.responses.size();
+  SortById(&result.responses);
+  return result;
+}
+
+}  // namespace tfsn::serve

@@ -1,0 +1,109 @@
+// Workload generation for the serving layer.
+//
+// Tasks are sampled with Zipf-distributed skill popularity — the same
+// heavy-tailed regime the paper's datasets exhibit and the regime the
+// batching scheduler is built for: hot skills recur across nearby
+// requests, so their holder universes overlap and one union view serves
+// many requests. Two load shapes drive the server:
+//
+//   * Open loop (RunOpenLoop): Poisson arrivals at a fixed rate,
+//     submitted with TrySubmit — a saturated server drops (and counts)
+//     arrivals instead of stalling the generator, so measured latency
+//     reflects the configured rate, not the service rate.
+//   * Closed loop (RunClosedLoop): N client threads each keep exactly one
+//     request in flight — the standard way to measure peak sustainable
+//     throughput.
+//
+// Request streams are pre-generated and deterministic in the workload
+// seed: request i carries id = i and its own derived rng_seed, so any two
+// runs over the same stream — whatever the batching, worker count, or
+// loop shape — produce bit-identical teams per request (the fixed-seed
+// replay mode of `tfsn_cli serve` is exactly this).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/serve/server.h"
+#include "src/serve/types.h"
+#include "src/skills/skills.h"
+#include "src/util/rng.h"
+#include "src/util/zipf.h"
+
+namespace tfsn::serve {
+
+/// Samples tasks whose skills follow skill popularity: skills are ranked
+/// by holder count descending and rank r is drawn ∝ (r+1)^-s, so small
+/// exponents spread load over the catalog while s >= 1 concentrates it on
+/// the head (maximal footprint overlap).
+class ZipfTaskSampler {
+ public:
+  /// Only skills with at least one holder participate. `exponent` is the
+  /// Zipf s parameter.
+  ZipfTaskSampler(const SkillAssignment& skills, double exponent);
+
+  /// Draws a task of `task_size` distinct skills (capped at the number of
+  /// held skills) by rejection over the rank distribution.
+  Task Sample(uint32_t task_size, Rng* rng) const;
+
+  uint32_t num_skills() const { return static_cast<uint32_t>(by_rank_.size()); }
+
+ private:
+  std::vector<SkillId> by_rank_;  // held skills, holder count descending
+  ZipfSampler zipf_;
+};
+
+/// Workload shape shared by the generators and the CLI/bench front ends.
+struct WorkloadOptions {
+  /// Skills per task.
+  uint32_t task_size = 3;
+  /// Zipf exponent of the skill sampler.
+  double zipf_exponent = 1.0;
+  /// Seed of the request stream (tasks and per-request rng seeds).
+  uint64_t seed = 1;
+  /// Requests in the stream.
+  uint32_t num_requests = 200;
+};
+
+/// The deterministic request stream for `options`: request i has id = i,
+/// a Zipf-sampled task, and a SplitMix64-derived rng_seed.
+std::vector<TeamRequest> GenerateRequests(const SkillAssignment& skills,
+                                          const WorkloadOptions& options);
+
+/// Outcome of one workload run.
+struct WorkloadResult {
+  uint64_t submitted = 0;
+  /// Open loop only: arrivals refused by a full queue.
+  uint64_t dropped = 0;
+  uint64_t completed = 0;
+  /// Wall clock from the first submission to the last response.
+  double seconds = 0;
+  /// Completed responses, ascending by request id.
+  std::vector<TeamResponse> responses;
+};
+
+/// Poisson arrivals at `qps` (inter-arrival times drawn from
+/// `arrival_rng`), one generator thread, TrySubmit semantics (see file
+/// comment). Blocks until every accepted request completed.
+WorkloadResult RunOpenLoop(TeamFormationServer* server,
+                           std::vector<TeamRequest> requests, double qps,
+                           Rng* arrival_rng);
+
+/// `clients` threads each keep one request in flight until the stream is
+/// exhausted. Blocks until every request completed.
+WorkloadResult RunClosedLoop(TeamFormationServer* server,
+                             std::vector<TeamRequest> requests,
+                             uint32_t clients);
+
+/// Saturation / replay mode: the whole stream is submitted back to back
+/// from the calling thread (blocking Push — size the server's queue for
+/// the stream), then every response is awaited. The admission queue stays
+/// as deep as the remaining stream, so the batching scheduler sees its
+/// full grouping window: this measures peak service throughput without
+/// client-thread scheduling noise, and is the deterministic fixed-seed
+/// replay mode of `tfsn_cli serve` (no pacing, no drops).
+WorkloadResult RunBurst(TeamFormationServer* server,
+                        std::vector<TeamRequest> requests);
+
+}  // namespace tfsn::serve

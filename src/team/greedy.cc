@@ -354,7 +354,8 @@ TeamResult GreedyTeamFormer::CompleteSeedView(const TaskCompatView& view,
 // team into `sink` (members sorted, costs evaluated). Returns (seeds tried,
 // seeds succeeded).
 std::pair<uint32_t, uint32_t> GreedyTeamFormer::EnumerateCandidates(
-    const Task& task, Rng* rng, std::vector<TeamResult>* sink) {
+    const Task& task, Rng* rng, const TaskCompatView* shared_view,
+    std::vector<TeamResult>* sink) {
   // Initial skill (line 3) over the whole task.
   std::vector<SkillId> all_skills(task.skills().begin(), task.skills().end());
   SkillId first = SelectSkill(all_skills);
@@ -376,43 +377,42 @@ std::pair<uint32_t, uint32_t> GreedyTeamFormer::EnumerateCandidates(
   // The task's holder universe — every candidate the seed loop can touch
   // holds one of the task's skills. Computed once and shared by the
   // build-worthiness estimate, the view build, and the oracle-path cache
-  // prewarm.
-  std::vector<NodeId> universe;
-  const bool need_universe = params_.eval_path != GreedyEvalPath::kOracle ||
-                             params_.prefetch_threads > 0;
-  if (need_universe) {
-    for (SkillId s : task.skills()) {
-      auto hs = skills_.Holders(s);
-      universe.insert(universe.end(), hs.begin(), hs.end());
+  // prewarm. A caller-supplied view already paid for all of that (over a
+  // possibly larger universe), so the block is skipped entirely.
+  std::unique_ptr<TaskCompatView> owned_view;
+  const TaskCompatView* view = shared_view;
+  if (view == nullptr) {
+    std::vector<NodeId> universe;
+    const bool need_universe = params_.eval_path != GreedyEvalPath::kOracle ||
+                               params_.prefetch_threads > 0;
+    if (need_universe) {
+      universe = HolderUniverse(skills_, task.skills());
     }
-    std::sort(universe.begin(), universe.end());
-    universe.erase(std::unique(universe.begin(), universe.end()),
-                   universe.end());
-  }
 
-  // Dense fast path: materialize the task-local view once (its row fetch
-  // doubles as the cache prewarm). Falls back to the oracle when disabled,
-  // over budget, not worth building, or the graph is too large for uint16
-  // distances. The path choice never changes the results — only how they
-  // are computed — so kAuto is free to pick either.
-  std::unique_ptr<TaskCompatView> view;
-  if (params_.eval_path == GreedyEvalPath::kView ||
-      (params_.eval_path == GreedyEvalPath::kAuto &&
-       ViewWorthBuilding(task, seeds.size(), universe.size()))) {
-    const uint32_t build_threads =
-        params_.prefetch_threads == 0 ? 1 : params_.prefetch_threads;
-    // Keep our universe copy alive: a build that falls back (budget /
-    // node-count gate) still wants the prewarm below.
-    view = TaskCompatView::BuildFromUniverse(
-        oracle_, skills_, task, std::vector<NodeId>(universe), build_threads,
-        params_.view_max_bytes);
-  }
-  if (view == nullptr && params_.prefetch_threads > 0) {
-    // Oracle path: warm the row cache for the whole universe so the
-    // misses are computed by parallel workers instead of serially on
-    // first use.
-    oracle_->StreamRows(universe, params_.prefetch_threads,
-                        [](size_t, const CompatibilityOracle::Row&) {});
+    // Dense fast path: materialize the task-local view once (its row fetch
+    // doubles as the cache prewarm). Falls back to the oracle when disabled,
+    // over budget, not worth building, or the graph is too large for uint16
+    // distances. The path choice never changes the results — only how they
+    // are computed — so kAuto is free to pick either.
+    if (params_.eval_path == GreedyEvalPath::kView ||
+        (params_.eval_path == GreedyEvalPath::kAuto &&
+         ViewWorthBuilding(task, seeds.size(), universe.size()))) {
+      const uint32_t build_threads =
+          params_.prefetch_threads == 0 ? 1 : params_.prefetch_threads;
+      // Keep our universe copy alive: a build that falls back (budget /
+      // node-count gate) still wants the prewarm below.
+      owned_view = TaskCompatView::BuildFromUniverse(
+          oracle_, skills_, task, std::vector<NodeId>(universe), build_threads,
+          params_.view_max_bytes);
+      view = owned_view.get();
+    }
+    if (view == nullptr && params_.prefetch_threads > 0) {
+      // Oracle path: warm the row cache for the whole universe so the
+      // misses are computed by parallel workers instead of serially on
+      // first use.
+      oracle_->StreamRows(universe, params_.prefetch_threads,
+                          [](size_t, const CompatibilityOracle::Row&) {});
+    }
   }
 
   // Only the RANDOM user policy consumes randomness inside the loop. Fork
@@ -434,10 +434,14 @@ std::pair<uint32_t, uint32_t> GreedyTeamFormer::EnumerateCandidates(
   std::vector<TeamResult> slots(seeds.size());
   if (view != nullptr) {
     const TaskCompatView& v = *view;
+    TFSN_DCHECK(v.kind() == oracle_->kind());
     const uint32_t threads =
         params_.seed_threads == 1 ? 1 : ResolveThreads(params_.seed_threads);
     ParallelForEach(seeds.size(), threads, [&](uint64_t i) {
       const uint32_t seed_local = v.LocalOf(seeds[i]);
+      // Every holder of a task skill is in the view universe — also when
+      // the view was supplied by a caller for a superset task.
+      TFSN_CHECK(seed_local != kNoLocalId);
       slots[i] = CompleteSeedView(v, task, seed_local, seed_rng_at(i));
     });
   } else {
@@ -458,13 +462,24 @@ std::pair<uint32_t, uint32_t> GreedyTeamFormer::EnumerateCandidates(
 }
 
 TeamResult GreedyTeamFormer::Form(const Task& task, Rng* rng) {
+  return FormImpl(task, rng, nullptr);
+}
+
+TeamResult GreedyTeamFormer::FormWithView(const TaskCompatView& view,
+                                          const Task& task, Rng* rng) {
+  return FormImpl(task, rng, &view);
+}
+
+TeamResult GreedyTeamFormer::FormImpl(const Task& task, Rng* rng,
+                                      const TaskCompatView* shared_view) {
   TeamResult result;
   if (task.empty()) {
     result.found = true;
     return result;
   }
   std::vector<TeamResult> candidates;
-  auto [tried, succeeded] = EnumerateCandidates(task, rng, &candidates);
+  auto [tried, succeeded] =
+      EnumerateCandidates(task, rng, shared_view, &candidates);
   result.seeds_tried = tried;
   result.seeds_succeeded = succeeded;
   const TeamResult* best = nullptr;
@@ -488,7 +503,7 @@ std::vector<TeamResult> GreedyTeamFormer::FormTopK(const Task& task,
                                                    uint32_t k, Rng* rng) {
   std::vector<TeamResult> candidates;
   if (task.empty() || k == 0) return candidates;
-  EnumerateCandidates(task, rng, &candidates);
+  EnumerateCandidates(task, rng, nullptr, &candidates);
   std::sort(candidates.begin(), candidates.end(),
             [](const TeamResult& a, const TeamResult& b) {
               if (a.objective != b.objective) return a.objective < b.objective;

@@ -139,6 +139,20 @@ class GreedyTeamFormer {
   /// top-k team enumeration in the spirit of Kargar & An (CIKM'11).
   std::vector<TeamResult> FormTopK(const Task& task, uint32_t k, Rng* rng);
 
+  /// Forms a team for `task` evaluating against a caller-supplied view
+  /// whose task skills are a superset of `task`'s (and that was built over
+  /// this former's oracle and skills). The serving layer's batching
+  /// scheduler builds one view for a group of requests with overlapping
+  /// skill footprints and runs every member task against it; because the
+  /// greedy loop only ever consults the view through the member task's own
+  /// holder masks and pair rows — whose bits are global-graph properties,
+  /// ordered by global id in every universe — the result is bit-identical
+  /// to Form() on the same task for every policy and relation, including
+  /// the rng stream consumed. The view's extra candidates are never
+  /// touched.
+  TeamResult FormWithView(const TaskCompatView& view, const Task& task,
+                          Rng* rng);
+
   const GreedyParams& params() const { return params_; }
 
  private:
@@ -151,8 +165,16 @@ class GreedyTeamFormer {
     std::vector<uint32_t> pool;
   };
 
+  /// Seed loop shared by Form/FormTopK/FormWithView. When `shared_view`
+  /// is non-null it is used as-is (no build, no prefetch); its task must
+  /// cover `task`'s skills.
   std::pair<uint32_t, uint32_t> EnumerateCandidates(
-      const Task& task, Rng* rng, std::vector<TeamResult>* sink);
+      const Task& task, Rng* rng, const TaskCompatView* shared_view,
+      std::vector<TeamResult>* sink);
+
+  /// Common body of Form and FormWithView.
+  TeamResult FormImpl(const Task& task, Rng* rng,
+                      const TaskCompatView* shared_view);
 
   /// Orders `skills` by the configured skill policy (ascending priority:
   /// element 0 is picked first).

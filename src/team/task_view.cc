@@ -24,6 +24,19 @@ uint64_t CountSetBits(std::span<const uint64_t> mask) {
   return count;
 }
 
+std::vector<NodeId> HolderUniverse(const SkillAssignment& skills,
+                                   std::span<const SkillId> task_skills) {
+  std::vector<NodeId> universe;
+  for (SkillId s : task_skills) {
+    auto holders = skills.Holders(s);
+    universe.insert(universe.end(), holders.begin(), holders.end());
+  }
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()),
+                 universe.end());
+  return universe;
+}
+
 uint32_t TaskCompatView::LocalOf(NodeId global) const {
   auto it = std::lower_bound(universe_.begin(), universe_.end(), global);
   if (it == universe_.end() || *it != global) return kNoLocalId;
@@ -35,6 +48,14 @@ size_t TaskCompatView::TaskSkillPos(SkillId skill) const {
   auto it = std::lower_bound(skills.begin(), skills.end(), skill);
   TFSN_CHECK(it != skills.end() && *it == skill);
   return static_cast<size_t>(it - skills.begin());
+}
+
+size_t TaskCompatView::EstimateBytes(size_t m, size_t num_task_skills,
+                                     bool sbph) {
+  const size_t words = (m + 63) / 64;
+  return m * sizeof(NodeId) + m * words * sizeof(uint64_t) * (sbph ? 2 : 1) +
+         m * m * sizeof(uint16_t) + num_task_skills * words * sizeof(uint64_t) +
+         num_task_skills * sizeof(uint32_t);
 }
 
 size_t TaskCompatView::bytes() const {
@@ -90,15 +111,8 @@ void TaskCompatView::MaterializeDistRow(uint32_t local) const {
 std::unique_ptr<TaskCompatView> TaskCompatView::Build(
     CompatibilityOracle* oracle, const SkillAssignment& skills,
     const Task& task, uint32_t threads, size_t max_bytes) {
-  std::vector<NodeId> universe;
-  for (SkillId s : task.skills()) {
-    auto holders = skills.Holders(s);
-    universe.insert(universe.end(), holders.begin(), holders.end());
-  }
-  std::sort(universe.begin(), universe.end());
-  universe.erase(std::unique(universe.begin(), universe.end()),
-                 universe.end());
-  return BuildFromUniverse(oracle, skills, task, std::move(universe), threads,
+  return BuildFromUniverse(oracle, skills, task,
+                           HolderUniverse(skills, task.skills()), threads,
                            max_bytes);
 }
 
@@ -116,12 +130,7 @@ std::unique_ptr<TaskCompatView> TaskCompatView::BuildFromUniverse(
   const size_t m = universe.size();
   const size_t words = (m + 63) / 64;
   const bool sbph = oracle->kind() == CompatKind::kSBPH;
-  const size_t need = universe.size() * sizeof(NodeId) +
-                      m * words * sizeof(uint64_t) * (sbph ? 2 : 1) +
-                      m * m * sizeof(uint16_t) +
-                      task_skills.size() * words * sizeof(uint64_t) +
-                      task_skills.size() * sizeof(uint32_t);
-  if (need > max_bytes) return nullptr;
+  if (EstimateBytes(m, task_skills.size(), sbph) > max_bytes) return nullptr;
 
   std::unique_ptr<TaskCompatView> view(new TaskCompatView());
   view->oracle_ = oracle;

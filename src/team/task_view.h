@@ -63,6 +63,14 @@ void AppendSetBits(std::span<const uint64_t> mask, std::vector<uint32_t>* out);
 /// Number of set bits across `mask`.
 uint64_t CountSetBits(std::span<const uint64_t> mask);
 
+/// Sorted, deduplicated union of the holders of `task_skills` — the
+/// candidate universe a task's view is built over. One definition shared
+/// by the view build, the greedy former, and the serving-layer batch
+/// scheduler, so footprint estimates never diverge from what Build()
+/// materializes.
+std::vector<NodeId> HolderUniverse(const SkillAssignment& skills,
+                                   std::span<const SkillId> task_skills);
+
 class TaskCompatView {
  public:
   /// Finite distances must fit below this sentinel; the build falls back
@@ -174,6 +182,12 @@ class TaskCompatView {
   }
   /// Position of `skill` within task().skills() (which is sorted).
   size_t TaskSkillPos(SkillId skill) const;
+
+  /// Bytes a view over `m` candidates with `num_task_skills` holder masks
+  /// would allocate — the exact figure BuildFromUniverse checks against
+  /// `max_bytes`, exposed so batch schedulers (src/serve) can cap a
+  /// group's union footprint before paying for the build.
+  static size_t EstimateBytes(size_t m, size_t num_task_skills, bool sbph);
 
   /// Actual footprint of the dense matrices and masks.
   size_t bytes() const;

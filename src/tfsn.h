@@ -38,6 +38,11 @@
 #include "src/graph/graph_io.h"           // IWYU pragma: export
 #include "src/graph/signed_graph.h"       // IWYU pragma: export
 #include "src/graph/transform.h"          // IWYU pragma: export
+#include "src/serve/admission_queue.h"    // IWYU pragma: export
+#include "src/serve/batcher.h"            // IWYU pragma: export
+#include "src/serve/server.h"             // IWYU pragma: export
+#include "src/serve/types.h"              // IWYU pragma: export
+#include "src/serve/workload.h"           // IWYU pragma: export
 #include "src/skills/skill_generator.h"   // IWYU pragma: export
 #include "src/skills/skills.h"            // IWYU pragma: export
 #include "src/skills/skills_io.h"         // IWYU pragma: export
@@ -48,6 +53,8 @@
 #include "src/team/task_view.h"           // IWYU pragma: export
 #include "src/team/unsigned_tf.h"         // IWYU pragma: export
 #include "src/util/flags.h"               // IWYU pragma: export
+#include "src/util/fnv1a.h"               // IWYU pragma: export
+#include "src/util/latency_histogram.h"   // IWYU pragma: export
 #include "src/util/parallel.h"            // IWYU pragma: export
 #include "src/util/rng.h"                 // IWYU pragma: export
 #include "src/util/status.h"              // IWYU pragma: export

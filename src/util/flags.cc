@@ -1,8 +1,21 @@
 #include "src/util/flags.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace tfsn {
+
+namespace {
+
+// --batch-cap and --batch_cap are the same flag: keys are normalized to
+// the underscored spelling at parse time and on lookup, so no call site
+// has to probe both.
+std::string Normalized(std::string name) {
+  std::replace(name.begin(), name.end(), '-', '_');
+  return name;
+}
+
+}  // namespace
 
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -14,37 +27,37 @@ Flags::Flags(int argc, char** argv) {
     std::string body = arg.substr(2);
     auto eq = body.find('=');
     if (eq != std::string::npos) {
-      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      values_[Normalized(body.substr(0, eq))] = body.substr(eq + 1);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[body] = argv[++i];
+      values_[Normalized(body)] = argv[++i];
     } else {
-      values_[body] = "true";
+      values_[Normalized(body)] = "true";
     }
   }
 }
 
 bool Flags::Has(const std::string& name) const {
-  return values_.count(name) > 0;
+  return values_.count(Normalized(name)) > 0;
 }
 
 std::string Flags::GetString(const std::string& name,
                              const std::string& def) const {
-  auto it = values_.find(name);
+  auto it = values_.find(Normalized(name));
   return it == values_.end() ? def : it->second;
 }
 
 int64_t Flags::GetInt(const std::string& name, int64_t def) const {
-  auto it = values_.find(name);
+  auto it = values_.find(Normalized(name));
   return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
 double Flags::GetDouble(const std::string& name, double def) const {
-  auto it = values_.find(name);
+  auto it = values_.find(Normalized(name));
   return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
 }
 
 bool Flags::GetBool(const std::string& name, bool def) const {
-  auto it = values_.find(name);
+  auto it = values_.find(Normalized(name));
   if (it == values_.end()) return def;
   return it->second != "false" && it->second != "0";
 }

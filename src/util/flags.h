@@ -1,7 +1,9 @@
 // Minimal command-line flag parsing for benchmark and example binaries.
 //
 // Supports --name=value and --name value forms plus boolean --name.
-// Unknown flags are collected so google-benchmark flags can pass through.
+// Dashes and underscores in flag names are interchangeable (--batch-cap
+// == --batch_cap); lookups may use either spelling. Unknown flags are
+// collected so google-benchmark flags can pass through.
 
 #pragma once
 

@@ -1,0 +1,37 @@
+// Incremental 64-bit FNV-1a hashing.
+//
+// Used wherever the repo needs a tiny deterministic fingerprint — the
+// oracle/cache key base (src/compat/compatibility.cc) and the CLI's
+// replay team digest — so the constants live in exactly one place.
+// Not a cryptographic hash.
+
+#pragma once
+
+#include <cstdint>
+
+namespace tfsn {
+
+class Fnv1a {
+ public:
+  /// Folds one byte into the state.
+  void MixByte(uint8_t b) {
+    h_ = (h_ ^ b) * kPrime;
+  }
+
+  /// Folds a 64-bit value, least significant byte first.
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      MixByte(static_cast<uint8_t>((v >> (i * 8)) & 0xff));
+    }
+  }
+
+  uint64_t digest() const { return h_; }
+
+ private:
+  static constexpr uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+  static constexpr uint64_t kPrime = 0x100000001b3ull;
+
+  uint64_t h_ = kOffsetBasis;
+};
+
+}  // namespace tfsn

@@ -1,0 +1,83 @@
+#include "src/util/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace tfsn {
+
+namespace {
+
+// Values below kSubBucketCount get one exact bucket each; every further
+// power-of-two range [2^b, 2^(b+1)) is covered by kSubBucketCount/2 linear
+// sub-buckets (the top half of the sub-bucket index space).
+constexpr uint32_t kHalf = LatencyHistogram::kSubBucketCount / 2;
+constexpr uint32_t kMaxShift = 64 - LatencyHistogram::kSubBucketBits;
+constexpr uint32_t kNumBuckets =
+    LatencyHistogram::kSubBucketCount + kMaxShift * kHalf;
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : counts_(kNumBuckets, 0) {}
+
+uint32_t LatencyHistogram::BucketIndex(uint64_t value) {
+  if (value < kSubBucketCount) return static_cast<uint32_t>(value);
+  const uint32_t shift =
+      static_cast<uint32_t>(std::bit_width(value)) - kSubBucketBits;
+  const uint32_t sub = static_cast<uint32_t>(value >> shift);  // [kHalf, 2*kHalf)
+  return kSubBucketCount + (shift - 1) * kHalf + (sub - kHalf);
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(uint32_t index) {
+  if (index < kSubBucketCount) return index;  // exact single-value bucket
+  const uint32_t shift = (index - kSubBucketCount) / kHalf + 1;
+  const uint64_t sub = (index - kSubBucketCount) % kHalf + kHalf;
+  // (sub + 1) << shift wraps to 0 for the very last bucket, making its
+  // upper bound UINT64_MAX — exactly right.
+  return ((sub + 1) << shift) - 1;
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  ++counts_[BucketIndex(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (uint32_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double LatencyHistogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+}
+
+uint64_t LatencyHistogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  uint64_t cumulative = 0;
+  for (uint32_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      return std::clamp(BucketUpperBound(i), min_, max_);
+    }
+  }
+  return max_;  // unreachable: cumulative reaches count_ >= rank
+}
+
+void LatencyHistogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~uint64_t{0};
+  max_ = 0;
+}
+
+}  // namespace tfsn

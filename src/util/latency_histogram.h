@@ -1,0 +1,70 @@
+// Log-bucketed latency histogram for server metrics.
+//
+// The serving layer (src/serve) tracks per-request latency across many
+// worker threads; keeping every sample would cost memory proportional to
+// the request count, and a plain sorted-vector percentile would need a
+// post-run merge sort. This histogram is the standard HDR-style
+// compromise: values land in buckets whose width grows geometrically,
+// giving a bounded relative error (at most 2/2^kSubBucketBits ≈ 6%)
+// over the full uint64 range with a small fixed footprint.
+//
+// Counts are plain (non-atomic) uint64s: each worker owns a private
+// histogram and the server merges them on demand — Merge is exact, so the
+// merged percentile equals the percentile of one histogram fed every
+// sample. Rank arithmetic in ValueAtQuantile is exact over the counts;
+// only the reported value is bucket-quantized (and clamped to the exact
+// observed min/max, so p0/p100 are exact).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tfsn {
+
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: each power-of-two range [2^b, 2^(b+1)) is
+  /// split into 2^(kSubBucketBits-1) linear sub-buckets, bounding the
+  /// relative quantization error by 2^-(kSubBucketBits-1).
+  static constexpr uint32_t kSubBucketBits = 5;
+  static constexpr uint32_t kSubBucketCount = 1u << kSubBucketBits;
+
+  LatencyHistogram();
+
+  /// Records one sample (any uint64; units are the caller's — the serving
+  /// layer records microseconds).
+  void Record(uint64_t value);
+
+  /// Adds every sample of `other` into this histogram (exact: bucket
+  /// layouts are identical by construction).
+  void Merge(const LatencyHistogram& other);
+
+  /// Number of recorded samples.
+  uint64_t count() const { return count_; }
+  /// Exact smallest / largest recorded sample (0 when empty).
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  /// Exact mean (sums are kept in full precision; 0 when empty).
+  double Mean() const;
+
+  /// Value at quantile q in [0, 1] — e.g. 0.5 / 0.95 / 0.99. Returns the
+  /// upper bound of the bucket holding the sample of rank
+  /// max(1, ceil(q * count)), clamped to [min(), max()]; 0 when empty.
+  uint64_t ValueAtQuantile(double q) const;
+
+  /// Resets to the empty state (for windowed metrics).
+  void Clear();
+
+ private:
+  static uint32_t BucketIndex(uint64_t value);
+  static uint64_t BucketUpperBound(uint32_t index);
+
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~uint64_t{0};
+  uint64_t max_ = 0;
+};
+
+}  // namespace tfsn

@@ -1,0 +1,140 @@
+#include "src/util/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace tfsn {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  // Values below kSubBucketCount get one bucket each, so every quantile
+  // is exact.
+  LatencyHistogram h;
+  for (uint64_t v = 0; v < LatencyHistogram::kSubBucketCount; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), uint64_t{LatencyHistogram::kSubBucketCount});
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), LatencyHistogram::kSubBucketCount - 1);
+  // rank = ceil(0.5 * 32) = 16 -> the 16th smallest sample, value 15.
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 15u);
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), LatencyHistogram::kSubBucketCount - 1);
+}
+
+TEST(LatencyHistogramTest, SingleSample) {
+  LatencyHistogram h;
+  h.Record(123456);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.ValueAtQuantile(q), 123456u) << q;
+  }
+  EXPECT_EQ(h.min(), 123456u);
+  EXPECT_EQ(h.max(), 123456u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 123456.0);
+}
+
+TEST(LatencyHistogramTest, RelativeErrorBound) {
+  // The reported quantile may be bucket-quantized but never off by more
+  // than one sub-bucket width, which is at most 2^-(kSubBucketBits-1) of
+  // the value itself.
+  const double max_rel = 2.0 / LatencyHistogram::kSubBucketCount;
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t v = rng.Next() >> (trial % 40);
+    LatencyHistogram h;
+    h.Record(v);
+    const uint64_t reported = h.ValueAtQuantile(0.5);
+    // Clamping to max() makes single-sample histograms exact; re-check the
+    // raw bound through a two-sample histogram where v is not the max.
+    EXPECT_EQ(reported, v);
+    LatencyHistogram h2;
+    h2.Record(v);
+    h2.Record(~uint64_t{0});
+    const uint64_t mid = h2.ValueAtQuantile(0.5);
+    EXPECT_GE(mid, v);
+    EXPECT_LE(static_cast<double>(mid) - static_cast<double>(v),
+              static_cast<double>(v) * max_rel + 1.0);
+  }
+}
+
+TEST(LatencyHistogramTest, QuantilesOnUniformRange) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.Record(v);
+  const double max_rel = 2.0 / LatencyHistogram::kSubBucketCount;
+  for (double q : {0.10, 0.50, 0.90, 0.95, 0.99}) {
+    const double exact = q * 10000;
+    const double got = static_cast<double>(h.ValueAtQuantile(q));
+    EXPECT_GE(got, exact - 1) << q;
+    EXPECT_LE(got, exact * (1 + max_rel) + 1) << q;
+  }
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 10000u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 5000.5);
+}
+
+TEST(LatencyHistogramTest, MergeEqualsCombinedRecording) {
+  Rng rng(7);
+  LatencyHistogram a, b, combined;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.Next() >> (i % 50);
+    combined.Record(v);
+    (i % 3 == 0 ? a : b).Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.Mean(), combined.Mean());
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(a.ValueAtQuantile(q), combined.ValueAtQuantile(q)) << q;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeWithEmpty) {
+  LatencyHistogram a, empty;
+  a.Record(5);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 5u);
+
+  LatencyHistogram b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.ValueAtQuantile(0.5), 5u);
+}
+
+TEST(LatencyHistogramTest, ClearResets) {
+  LatencyHistogram h;
+  h.Record(10);
+  h.Record(1u << 20);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.99), 0u);
+  h.Record(3);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 3u);
+}
+
+TEST(LatencyHistogramTest, ExtremeValues) {
+  LatencyHistogram h;
+  h.Record(0);
+  h.Record(~uint64_t{0});
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), ~uint64_t{0});
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), ~uint64_t{0});
+}
+
+}  // namespace
+}  // namespace tfsn

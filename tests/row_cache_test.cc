@@ -50,6 +50,33 @@ TEST(RowCacheTest, HitMissAndCounters) {
   EXPECT_GT(stats.bytes_in_use, 0u);
 }
 
+TEST(RowCacheTest, SnapshotCountersMatchStatsAndSubtract) {
+  RowCache cache;
+  cache.Insert(1, TestRow(4, 7));
+  EXPECT_EQ(cache.Get(2), nullptr);  // miss
+  cache.Get(1);                      // hit
+
+  const RowCache::StatsSnapshot before = cache.SnapshotCounters();
+  const RowCacheStats stats = cache.stats();
+  EXPECT_EQ(before.hits, stats.hits);
+  EXPECT_EQ(before.misses, stats.misses);
+  EXPECT_EQ(before.evictions, stats.evictions);
+  EXPECT_EQ(before.insertions, stats.insertions);
+  EXPECT_DOUBLE_EQ(before.HitRate(), 0.5);
+
+  // Window deltas via operator-: 3 hits, 1 miss in the window.
+  cache.Get(1);
+  cache.Get(1);
+  cache.Get(1);
+  cache.Get(3);
+  const RowCache::StatsSnapshot window = cache.SnapshotCounters() - before;
+  EXPECT_EQ(window.hits, 3u);
+  EXPECT_EQ(window.misses, 1u);
+  EXPECT_EQ(window.lookups(), 4u);
+  EXPECT_DOUBLE_EQ(window.HitRate(), 0.75);
+  EXPECT_DOUBLE_EQ((RowCache::StatsSnapshot{}).HitRate(), 0.0);
+}
+
 TEST(RowCacheTest, LruEvictionOrder) {
   RowCacheOptions options;
   options.max_rows = 2;
