@@ -162,6 +162,12 @@ class CompatibilityOracle {
   /// High 32 bits of every cache key: a fingerprint of (graph, kernel,
   /// params) so distinct configurations sharing a RowCache never collide.
   uint64_t key_base_;
+  /// Lock-free ordering contract: a monotonic tally of cache misses this
+  /// oracle paid for, bumped with relaxed fetch_add from GetRows' worker
+  /// threads and read with a relaxed load (rows_computed()). It publishes
+  /// nothing — row data itself is published via RowCache::Insert under the
+  /// shard lock — so relaxed is sufficient; the atomic only exists because
+  /// GetRows' internal workers bump it concurrently.
   std::atomic<uint64_t> rows_computed_{0};
   std::array<std::shared_ptr<const Row>, kPinnedRows> pins_;
   size_t pin_cursor_ = 0;

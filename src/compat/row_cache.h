@@ -25,10 +25,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "src/compat/row_kernels.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace tfsn {
 
@@ -119,22 +120,29 @@ class RowCache {
     std::shared_ptr<const CompatRow> row;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
-    size_t bytes = 0;
+    mutable Mutex mu;
+    std::list<Entry> lru TFSN_GUARDED_BY(mu);  // front = most recently used
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index
+        TFSN_GUARDED_BY(mu);
+    size_t bytes TFSN_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(uint64_t key);
-  // Evicts from the back of `shard` until budgets hold; requires the
-  // shard mutex and never removes the front (most recent) entry.
-  void EvictLocked(Shard* shard);
+  // Evicts from the back of `shard` until budgets hold; never removes the
+  // front (most recent) entry.
+  void EvictLocked(Shard* shard) TFSN_REQUIRES(shard->mu);
 
   RowCacheOptions options_;
   uint32_t num_shards_;
   size_t shard_max_bytes_;  // 0 = unbounded
   size_t shard_max_rows_;   // 0 = unbounded
   std::unique_ptr<Shard[]> shards_;
+  // Lock-free ordering contract: the four counters below are monotonic
+  // event tallies bumped with relaxed RMWs and read with relaxed loads
+  // (SnapshotCounters). No other data is published through them, so no
+  // acquire/release pairing is needed; totals are exact because
+  // fetch_add is atomic, only cross-counter skew is possible (a snapshot
+  // may see an insert's `insertions_` bump before its `evictions_` one).
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};

@@ -164,7 +164,7 @@ SignedGraph SmallWorldSigned(uint32_t n, uint32_t k, double beta,
     if (ring_edge || !rng->NextBool(beta)) continue;
     for (int tries = 0; tries < 32; ++tries) {
       NodeId w = static_cast<NodeId>(rng->NextBounded(n));
-      if (w == u || used.count(EdgeKey(u, w))) continue;
+      if (w == u || used.contains(EdgeKey(u, w))) continue;
       used.erase(EdgeKey(u, v));
       used.insert(EdgeKey(u, w));
       v = w;

@@ -18,16 +18,21 @@
 //   * FIFO: items pop in push order (per the total order of push
 //     completions under the lock).
 //
-// All member functions are safe to call from any number of threads.
+// All member functions are safe to call from any number of threads. The
+// locking discipline is compile-time checked: items_/closed_ carry
+// TFSN_GUARDED_BY(mu_), and every entry point declares TFSN_EXCLUDES(mu_)
+// so a call from a context already holding the queue lock (self-deadlock)
+// fails to build under Clang's thread safety analysis.
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace tfsn::serve {
 
@@ -50,39 +55,38 @@ class AdmissionQueue {
 
   /// Blocks while the queue is full; returns false (item dropped) iff the
   /// queue was closed before space opened up.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+  bool Push(T item) TFSN_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.Wait(&mu_);
     if (closed_) return false;
     items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+    lock.Unlock();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Non-blocking admission: on success moves from *item and returns true;
   /// when full or closed returns false and leaves *item untouched.
-  bool TryPush(T* item) {
+  bool TryPush(T* item) TFSN_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(*item));
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks while the queue is empty; returns false iff the queue is
   /// closed AND fully drained (every admitted item is popped first).
-  bool Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  bool Pop(T* out) TFSN_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(&mu_);
     if (items_.empty()) return false;  // closed and drained
     *out = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    lock.Unlock();
+    not_full_.NotifyOne();
     return true;
   }
 
@@ -96,33 +100,31 @@ class AdmissionQueue {
   /// work that exists outside the queue and cannot signal not_empty_.
   /// An available item always wins over both other outcomes.
   template <typename Pred>
-  PopStatus PopOr(T* out, Pred&& wakeup) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this, &wakeup] {
-      return closed_ || !items_.empty() || wakeup();
-    });
+  PopStatus PopOr(T* out, Pred&& wakeup) TFSN_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (!closed_ && items_.empty() && !wakeup()) not_empty_.Wait(&mu_);
     if (!items_.empty()) {
       *out = std::move(items_.front());
       items_.pop_front();
-      lock.unlock();
-      not_full_.notify_one();
+      lock.Unlock();
+      not_full_.NotifyOne();
       return PopStatus::kItem;
     }
     return closed_ ? PopStatus::kClosed : PopStatus::kWakeup;
   }
 
   /// Wakes every PopOr waiter so it re-evaluates its wakeup predicate.
-  void Kick() { not_empty_.notify_all(); }
+  void Kick() { not_empty_.NotifyAll(); }
 
   /// Non-blocking pop; false when currently empty (closed or not).
-  bool TryPop(T* out) {
+  bool TryPop(T* out) TFSN_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (items_.empty()) return false;
       *out = std::move(items_.front());
       items_.pop_front();
     }
-    not_full_.notify_all();
+    not_full_.NotifyAll();
     return true;
   }
 
@@ -130,50 +132,50 @@ class AdmissionQueue {
   /// without blocking; returns how many were taken. The batching
   /// scheduler uses this to widen its grouping window beyond the single
   /// blocking Pop that woke it.
-  size_t DrainInto(std::vector<T>* out, size_t max_items) {
+  size_t DrainInto(std::vector<T>* out, size_t max_items) TFSN_EXCLUDES(mu_) {
     size_t taken = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       while (taken < max_items && !items_.empty()) {
         out->push_back(std::move(items_.front()));
         items_.pop_front();
         ++taken;
       }
     }
-    if (taken > 0) not_full_.notify_all();
+    if (taken > 0) not_full_.NotifyAll();
     return taken;
   }
 
   /// Closes admission: subsequent and blocked pushes fail, pops drain the
   /// remaining items then fail. Idempotent.
-  void Close() {
+  void Close() TFSN_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       closed_ = true;
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const TFSN_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
   size_t capacity() const { return capacity_; }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const TFSN_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return closed_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ TFSN_GUARDED_BY(mu_);
+  bool closed_ TFSN_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace tfsn::serve

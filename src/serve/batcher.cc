@@ -61,13 +61,13 @@ BatchScheduler::Pending BatchScheduler::Prepared(ScheduledRequest item) const {
 }
 
 size_t BatchScheduler::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return pending_.size();
 }
 
 bool BatchScheduler::NextBatch(AdmissionQueue<ScheduledRequest>* queue,
                                RequestBatch* out) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (;;) {
     // Top up the grouping window with whatever is immediately available.
     // Footprints are computed with the scheduler unlocked — sorting
@@ -80,7 +80,7 @@ bool BatchScheduler::NextBatch(AdmissionQueue<ScheduledRequest>* queue,
                       ? policy_.scan_window - pending_.size()
                       : 0;
     if (room > 0) {
-      lock.unlock();
+      lock.Unlock();
       std::vector<ScheduledRequest> drained;
       queue->DrainInto(&drained, room);
       std::vector<Pending> prepared;
@@ -88,7 +88,7 @@ bool BatchScheduler::NextBatch(AdmissionQueue<ScheduledRequest>* queue,
       for (ScheduledRequest& item : drained) {
         prepared.push_back(Prepared(std::move(item)));
       }
-      lock.lock();
+      lock.Lock();
       for (Pending& p : prepared) pending_.push_back(std::move(p));
     }
     if (!pending_.empty()) break;
@@ -99,18 +99,18 @@ bool BatchScheduler::NextBatch(AdmissionQueue<ScheduledRequest>* queue,
     // a sibling setting it afterwards is seen either by PopOr's first
     // predicate check or by its Kick.
     leftovers_.store(false, std::memory_order_release);
-    lock.unlock();
+    lock.Unlock();
     ScheduledRequest item;
     const PopStatus status = queue->PopOr(&item, [this] {
       return leftovers_.load(std::memory_order_acquire);
     });
     if (status == PopStatus::kItem) {
       Pending p = Prepared(std::move(item));
-      lock.lock();
+      lock.Lock();
       pending_.push_back(std::move(p));
       continue;  // re-drain: more may have arrived with it
     }
-    lock.lock();
+    lock.Lock();
     if (status == PopStatus::kWakeup) continue;
     // Queue closed and drained. Serve what another worker left pending,
     // otherwise report shutdown.

@@ -36,13 +36,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "src/graph/signed_graph.h"
 #include "src/serve/admission_queue.h"
 #include "src/serve/types.h"
 #include "src/skills/skills.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace tfsn::serve {
 
@@ -81,10 +82,11 @@ class BatchScheduler {
   /// Forms the next batch from `queue`, blocking while neither pending
   /// requests nor queued ones exist. Returns false when the queue is
   /// closed and everything (queue and pending window) is drained.
-  bool NextBatch(AdmissionQueue<ScheduledRequest>* queue, RequestBatch* out);
+  bool NextBatch(AdmissionQueue<ScheduledRequest>* queue, RequestBatch* out)
+      TFSN_EXCLUDES(mu_);
 
   /// Requests currently parked in the grouping window.
-  size_t pending() const;
+  size_t pending() const TFSN_EXCLUDES(mu_);
 
   const BatchPolicy& policy() const { return policy_; }
 
@@ -102,11 +104,16 @@ class BatchScheduler {
   const SkillAssignment& skills_;
   const bool sbph_;
   const BatchPolicy policy_;
-  mutable std::mutex mu_;
-  std::deque<Pending> pending_;
+  mutable Mutex mu_;
+  std::deque<Pending> pending_ TFSN_GUARDED_BY(mu_);
   /// True while requests sit in pending_ — the PopOr wakeup predicate of
   /// workers blocked on an empty queue, so a sibling's rejected leftovers
   /// get picked up immediately instead of waiting out a poll interval.
+  /// Lock-free ordering contract: release store / acquire load so a
+  /// waiter woken by Kick() observes the pending_ state the setter
+  /// published under mu_ before setting the flag (the waiter still
+  /// re-checks pending_ under mu_ after waking — the flag is purely a
+  /// wakeup hint, never the source of truth).
   std::atomic<bool> leftovers_{false};
 };
 

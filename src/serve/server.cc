@@ -43,7 +43,12 @@ TeamFormationServer::TeamFormationServer(const SignedGraph& graph,
     worker->oracle = MakeOracle(graph, kind, OracleParams{}, cache_);
     worker->former = std::make_unique<GreedyTeamFormer>(
         worker->oracle.get(), skills_, index, options_.greedy);
-    worker->batch_size_counts.assign(options_.batch.max_batch + 1, 0);
+    {
+      // The worker thread does not exist yet; the lock is for the
+      // analysis (batch_size_counts is guarded by worker->mu).
+      MutexLock lock(&worker->mu);
+      worker->batch_size_counts.assign(options_.batch.max_batch + 1, 0);
+    }
     workers_.push_back(std::move(worker));
   }
   for (auto& worker : workers_) {
@@ -116,7 +121,7 @@ void TeamFormationServer::WorkerLoop(Worker* worker) {
       resp.service_us = MicrosBetween(service_start, done);
       resp.total_us = MicrosBetween(sr.admitted, done);
       {
-        std::lock_guard<std::mutex> lock(worker->mu);
+        MutexLock lock(&worker->mu);
         ++worker->completed;
         worker->queue_us.Record(resp.queue_us);
         worker->service_us.Record(resp.service_us);
@@ -125,7 +130,7 @@ void TeamFormationServer::WorkerLoop(Worker* worker) {
       sr.promise.set_value(std::move(resp));
     }
     {
-      std::lock_guard<std::mutex> lock(worker->mu);
+      MutexLock lock(&worker->mu);
       ++worker->batches;
       if (view != nullptr) {
         ++worker->shared_view_batches;
@@ -142,7 +147,7 @@ ServerMetrics TeamFormationServer::Metrics() const {
   ServerMetrics m;
   m.batch_size_counts.assign(options_.batch.max_batch + 1, 0);
   for (const auto& worker : workers_) {
-    std::lock_guard<std::mutex> lock(worker->mu);
+    MutexLock lock(&worker->mu);
     m.completed += worker->completed;
     m.batches += worker->batches;
     m.shared_view_batches += worker->shared_view_batches;

@@ -35,6 +35,9 @@
 #include <thread>
 #include <vector>
 
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
 #include "src/compat/compatibility.h"
 #include "src/compat/skill_index.h"
 #include "src/graph/signed_graph.h"
@@ -123,21 +126,22 @@ class TeamFormationServer {
   size_t queue_depth() const { return queue_.size(); }
 
  private:
-  /// Per-worker state: oracle + former (not thread-safe, hence owned) and
-  /// the metrics block it updates under its own mutex.
+  /// Per-worker state: oracle + former (not thread-safe, hence owned by
+  /// the worker thread and unannotated) and the metrics block it updates
+  /// under its own mutex — Metrics() reads it from arbitrary threads.
   struct Worker {
     std::unique_ptr<CompatibilityOracle> oracle;
     std::unique_ptr<GreedyTeamFormer> former;
     std::thread thread;
-    mutable std::mutex mu;
-    uint64_t completed = 0;
-    uint64_t batches = 0;
-    uint64_t shared_view_batches = 0;
-    uint64_t fallback_batches = 0;
-    LatencyHistogram queue_us;
-    LatencyHistogram service_us;
-    LatencyHistogram total_us;
-    std::vector<uint64_t> batch_size_counts;
+    mutable Mutex mu;
+    uint64_t completed TFSN_GUARDED_BY(mu) = 0;
+    uint64_t batches TFSN_GUARDED_BY(mu) = 0;
+    uint64_t shared_view_batches TFSN_GUARDED_BY(mu) = 0;
+    uint64_t fallback_batches TFSN_GUARDED_BY(mu) = 0;
+    LatencyHistogram queue_us TFSN_GUARDED_BY(mu);
+    LatencyHistogram service_us TFSN_GUARDED_BY(mu);
+    LatencyHistogram total_us TFSN_GUARDED_BY(mu);
+    std::vector<uint64_t> batch_size_counts TFSN_GUARDED_BY(mu);
   };
 
   void WorkerLoop(Worker* worker);

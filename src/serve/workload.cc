@@ -15,6 +15,7 @@ namespace tfsn::serve {
 ZipfTaskSampler::ZipfTaskSampler(const SkillAssignment& skills,
                                  double exponent)
     : zipf_(1, exponent) {
+  by_rank_.reserve(skills.num_skills());
   for (SkillId s = 0; s < skills.num_skills(); ++s) {
     if (skills.Frequency(s) > 0) by_rank_.push_back(s);
   }
@@ -128,6 +129,12 @@ WorkloadResult RunClosedLoop(TeamFormationServer* server,
                              uint32_t clients) {
   clients = std::max<uint32_t>(1, clients);
   WorkloadResult result;
+  // Lock-free ordering contract: `next` hands each request index to
+  // exactly one client (relaxed fetch_add — no data is published through
+  // it; requests[] is read-only from the clients' perspective until the
+  // claimed element is moved out by its sole owner), and `submitted` is a
+  // relaxed tally. The joins below order both, plus per_client, before
+  // the merge loop reads them.
   std::atomic<size_t> next{0};
   std::vector<std::vector<TeamResponse>> per_client(clients);
   std::atomic<uint64_t> submitted{0};

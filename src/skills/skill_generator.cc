@@ -32,6 +32,7 @@ SkillAssignment ZipfSkills(uint32_t num_users, const ZipfSkillParams& params,
 
 Task RandomTask(const SkillAssignment& sa, uint32_t k, Rng* rng) {
   std::vector<SkillId> eligible;
+  eligible.reserve(sa.num_skills());
   for (SkillId s = 0; s < sa.num_skills(); ++s) {
     if (sa.Frequency(s) > 0) eligible.push_back(s);
   }

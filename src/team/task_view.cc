@@ -69,7 +69,7 @@ size_t TaskCompatView::bytes() const {
 }
 
 void TaskCompatView::MaterializeDirRow(uint32_t local) const {
-  std::lock_guard<std::mutex> lock(row_locks_[local % kLockStripes]);
+  MutexLock lock(&row_locks_[local % kLockStripes]);
   if (dir_ready_[local].load(std::memory_order_relaxed)) return;
   // Almost always a cache hit: Build() batch-prewarmed the universe. An
   // evicted row is recomputed by the kernel — pricier, but the values are
@@ -92,7 +92,7 @@ void TaskCompatView::MaterializeDirRow(uint32_t local) const {
 }
 
 void TaskCompatView::MaterializeDistRow(uint32_t local) const {
-  std::lock_guard<std::mutex> lock(row_locks_[local % kLockStripes]);
+  MutexLock lock(&row_locks_[local % kLockStripes]);
   if (dist_ready_[local].load(std::memory_order_relaxed)) return;
   std::shared_ptr<const CompatibilityOracle::Row> row =
       oracle_->GetRowShared(universe_[local]);

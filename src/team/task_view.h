@@ -40,12 +40,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "src/compat/compatibility.h"
 #include "src/skills/skills.h"
+#include "src/util/mutex.h"
 
 namespace tfsn {
 
@@ -196,8 +196,11 @@ class TaskCompatView {
   TaskCompatView() = default;
 
   /// Gather the dense comp-bit / distance row of `local` from the
-  /// (cached) oracle row. Idempotent; serialized per striped lock so
-  /// concurrent seed workers never observe a half-written row.
+  /// (cached) oracle row. Idempotent; serialized per striped lock
+  /// (row_locks_[local % kLockStripes]) so concurrent seed workers never
+  /// observe a half-written row. The stripe association is data-dependent,
+  /// so it is outside what TFSN_GUARDED_BY can express — the protocol is
+  /// documented on the members below instead.
   void MaterializeDirRow(uint32_t local) const;
   void MaterializeDistRow(uint32_t local) const;
 
@@ -213,11 +216,21 @@ class TaskCompatView {
   /// m_ * words_ directional comp bits and m_ * m_ directional distances;
   /// row i is valid once its ready flag is set (deliberately
   /// uninitialized before that — no m^2 zeroing).
+  ///
+  /// Lock-free ordering contract (striped, so not TFSN-annotatable): row i
+  /// of dir_bits_ / dist_ is written only by the thread holding
+  /// row_locks_[i % kLockStripes], then published by a release store of
+  /// 1 to the matching ready flag; readers (DirRow/DistRow) do an acquire
+  /// load of the flag and touch the row bytes only after seeing 1, so the
+  /// release/acquire pair makes the fully-written row visible. A reader
+  /// that sees 0 falls into Materialize*, where the stripe lock serializes
+  /// the double-checked recheck (relaxed load there is safe: the lock's
+  /// ordering covers it).
   mutable std::unique_ptr<uint64_t[]> dir_bits_;
   mutable std::unique_ptr<uint16_t[]> dist_;
   mutable std::unique_ptr<std::atomic<uint8_t>[]> dir_ready_;
   mutable std::unique_ptr<std::atomic<uint8_t>[]> dist_ready_;
-  mutable std::array<std::mutex, kLockStripes> row_locks_;
+  mutable std::array<Mutex, kLockStripes> row_locks_;
   std::vector<uint64_t> holder_bits_;  // task size * words_
   std::vector<uint32_t> holder_counts_;
 };

@@ -37,7 +37,7 @@ Flags::Flags(int argc, char** argv) {
 }
 
 bool Flags::Has(const std::string& name) const {
-  return values_.count(Normalized(name)) > 0;
+  return values_.contains(Normalized(name));
 }
 
 std::string Flags::GetString(const std::string& name,

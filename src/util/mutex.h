@@ -1,0 +1,126 @@
+// Annotated mutex / RAII lock / condition-variable wrappers.
+//
+// Thin, zero-overhead shims over std::mutex and std::condition_variable
+// that carry the Clang Thread Safety Analysis attributes from
+// thread_annotations.h, so "which lock protects what" is checked at
+// compile time (-Wthread-safety -Werror on every Clang build). All of
+// src/ uses these instead of <mutex> primitives directly — the analysis
+// cannot see through std::mutex, std::lock_guard, or std::unique_lock.
+//
+//   tfsn::Mutex      — a TFSN_CAPABILITY("mutex") over std::mutex.
+//   tfsn::MutexLock  — scoped lock; relockable (Unlock()/Lock()) so the
+//                      "drop the lock to notify / do expensive work, then
+//                      retake it" pattern stays analyzable.
+//   tfsn::CondVar    — condition variable whose Wait() declares
+//                      TFSN_REQUIRES(mu): waiting without the lock is a
+//                      compile error. Backed by std::condition_variable
+//                      (not _any), so there is no extra internal mutex.
+//
+// The method *bodies* operate on the raw std::mutex (invisible to the
+// analysis); the *signatures* carry the capability contract. That is the
+// standard implementation shape for annotated wrappers — the analysis
+// checks every caller, not the shim internals.
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace tfsn {
+
+class CondVar;
+
+/// A standard mutex carrying the `capability` attribute. Non-recursive;
+/// same semantics and cost as std::mutex.
+class TFSN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TFSN_ACQUIRE() { mu_.lock(); }
+  void Unlock() TFSN_RELEASE() { mu_.unlock(); }
+  /// True (and the lock is held) iff the mutex was free.
+  bool TryLock() TFSN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over a tfsn::Mutex. Beyond plain scoping it is
+/// *relockable*: Unlock() releases early (e.g. to notify a CondVar or run
+/// expensive work outside the critical section) and Lock() retakes it;
+/// the destructor releases only if currently held. The analysis tracks
+/// the held/released state through both, so guarded accesses in the
+/// unlocked window are still compile errors.
+class TFSN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) TFSN_ACQUIRE(mu) : mu_(mu) {
+    mu_->mu_.lock();
+  }
+  ~MutexLock() TFSN_RELEASE() {
+    if (held_) mu_->mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases the lock before scope exit. Must be held.
+  void Unlock() TFSN_RELEASE() {
+    held_ = false;
+    mu_->mu_.unlock();
+  }
+
+  /// Retakes the lock after Unlock(). Must not be held.
+  void Lock() TFSN_ACQUIRE() {
+    mu_->mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  friend class CondVar;
+  Mutex* mu_;
+  bool held_ = true;
+};
+
+/// Condition variable bound to tfsn::Mutex. Wait() requires the mutex held
+/// — enforced at compile time — and atomically releases it while blocked,
+/// exactly like std::condition_variable::wait. Spurious wakeups happen;
+/// always wait in a predicate loop (or use the predicate overload).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously woken). `mu` is released while
+  /// blocked and re-held on return.
+  void Wait(Mutex* mu) TFSN_REQUIRES(mu) {
+    // Adopt the already-held std::mutex for the duration of the wait; the
+    // release() afterwards hands ownership back to the caller's MutexLock.
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Waits until `pred()` is true. `pred` runs with `mu` held; if it reads
+  /// state guarded by `mu`, annotate the lambda with TFSN_REQUIRES(mu) (or
+  /// inline the loop at the call site so the enclosing scope's held
+  /// capability covers it).
+  template <typename Pred>
+  void Wait(Mutex* mu, Pred pred) TFSN_REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tfsn

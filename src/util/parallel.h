@@ -79,6 +79,11 @@ void ParallelForEach(uint64_t n, uint32_t threads, Fn&& fn) {
     for (uint64_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  // Lock-free ordering contract: `next` only hands out item indices —
+  // relaxed fetch_add is enough because each index is claimed exactly
+  // once and no data is published through the counter. Results written
+  // by fn(i) are made visible to the caller by the thread joins below
+  // (join is a full happens-before edge).
   std::atomic<uint64_t> next{0};
   auto worker = [&next, n, &fn] {
     for (;;) {

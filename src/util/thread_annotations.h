@@ -1,0 +1,94 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These wrap the [[clang::*]] capability attributes so locking invariants
+// — "this member is guarded by that mutex", "this method requires the lock
+// held", "this RAII type is a scoped capability" — are declared in the
+// type system and machine-checked at compile time by
+// `-Wthread-safety -Werror` (on in every Clang configuration, see the root
+// CMakeLists). Off Clang the macros expand to nothing, so GCC builds are
+// unaffected.
+//
+// Usage conventions in this repo:
+//   * every mutex is a tfsn::Mutex (src/util/mutex.h) — std::mutex is
+//     banned in src/ because the analysis cannot see through it;
+//   * every member a mutex protects carries TFSN_GUARDED_BY(mu_);
+//   * every private method that assumes a held lock declares
+//     TFSN_REQUIRES(mu_) instead of saying so in a comment;
+//   * public entry points that must NOT be called with the lock held (they
+//     take it themselves) declare TFSN_EXCLUDES(mu_) so a re-entrant call
+//     is a compile error, not a deadlock;
+//   * deliberately lock-free state (relaxed counters, ready flags) is NOT
+//     annotated — it carries an explicit comment on its ordering contract
+//     instead (see e.g. RowCache's counters, TaskCompatView's lazy rows).
+//
+// tests/thread_safety_negative.cc proves the analysis is live: compiled
+// with TFSN_TSA_NEGATIVE it touches a guarded member without the lock and
+// must FAIL to build (registered as a WILL_FAIL CTest under Clang).
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#pragma once
+
+// NOLINTBEGIN(bugprone-macro-parentheses) — the macro arguments are
+// attribute payloads (capability expressions), which cannot be
+// parenthesized.
+
+#if defined(__clang__)
+#define TFSN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TFSN_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" is the kind reported in
+/// diagnostics).
+#define TFSN_CAPABILITY(x) TFSN_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (tfsn::MutexLock).
+#define TFSN_SCOPED_CAPABILITY TFSN_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define TFSN_GUARDED_BY(x) TFSN_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer itself
+/// is not).
+#define TFSN_PT_GUARDED_BY(x) TFSN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function precondition: the listed capabilities are held on entry (and
+/// still held on exit).
+#define TFSN_REQUIRES(...) \
+  TFSN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function precondition: the listed capabilities are NOT held on entry —
+/// the function acquires them itself. Turns self-deadlock into a compile
+/// error.
+#define TFSN_EXCLUDES(...) TFSN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on exit.
+#define TFSN_ACQUIRE(...) \
+  TFSN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a capability held on entry.
+#define TFSN_RELEASE(...) \
+  TFSN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define TFSN_TRY_ACQUIRE(b, ...) \
+  TFSN_THREAD_ANNOTATION(try_acquire_capability(b, ##__VA_ARGS__))
+
+/// Declares lock acquisition order (deadlock detection with
+/// -Wthread-safety-beta).
+#define TFSN_ACQUIRED_BEFORE(...) \
+  TFSN_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define TFSN_ACQUIRED_AFTER(...) \
+  TFSN_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Returns a reference to the capability guarding the returned object.
+#define TFSN_RETURN_CAPABILITY(x) TFSN_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment justifying why the invariant holds anyway.
+#define TFSN_NO_THREAD_SAFETY_ANALYSIS \
+  TFSN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// NOLINTEND(bugprone-macro-parentheses)

@@ -1,0 +1,199 @@
+// Tests for the annotated mutex wrappers (src/util/mutex.h): MutexLock
+// RAII + relocking, CondVar wait-with-predicate, and the TFSN_EXCLUDES
+// "lock-then-call-into-locked-API" shape hammered across threads so TSan
+// (the tsan preset runs this suite) checks the runtime side of the
+// contracts the annotations state at compile time. The compile-time side
+// itself is proven by tests/thread_safety_negative.cc (a WILL_FAIL
+// negative-compile CTest).
+//
+// Annotations appear only on members of the helper classes below — Clang's
+// analysis attaches capability attributes to data members, not locals or
+// lambdas, so the test state lives in small annotated structs.
+
+#include "src/util/mutex.h"
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/thread_annotations.h"
+
+namespace tfsn {
+namespace {
+
+// A guarded counter exercising the annotation idioms end to end:
+// GUARDED_BY member, REQUIRES private helper, EXCLUDES entry points.
+class GuardedCounter {
+ public:
+  void Add(uint64_t n) TFSN_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    AddLocked(n);
+  }
+
+  uint64_t Get() const TFSN_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  void AddLocked(uint64_t n) TFSN_REQUIRES(mu_) { value_ += n; }
+
+  mutable Mutex mu_;
+  uint64_t value_ TFSN_GUARDED_BY(mu_) = 0;
+};
+
+// Condition-variable rendezvous state shared by the CondVar tests.
+class Gate {
+ public:
+  void Open() TFSN_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    open_ = true;
+    lock.Unlock();  // notify outside the critical section
+    cv_.NotifyAll();
+  }
+
+  /// Blocks until Open(); increments the wake tally before returning.
+  void Await() TFSN_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (!open_) cv_.Wait(&mu_);
+    ++woke_;
+  }
+
+  int woke() const TFSN_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return woke_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool open_ TFSN_GUARDED_BY(mu_) = false;
+  int woke_ TFSN_GUARDED_BY(mu_) = 0;
+};
+
+TEST(MutexTest, LockUnlockTryLock) {
+  Mutex mu;
+  mu.Lock();
+  // Non-recursive: a contending TryLock from another thread must fail
+  // while we hold the lock.
+  bool acquired = true;
+  std::thread probe([&mu, &acquired]() {
+    acquired = mu.TryLock();
+    if (acquired) mu.Unlock();
+  });
+  probe.join();
+  EXPECT_FALSE(acquired);
+  mu.Unlock();
+
+  std::thread probe2([&mu, &acquired]() {
+    acquired = mu.TryLock();
+    if (acquired) mu.Unlock();
+  });
+  probe2.join();
+  EXPECT_TRUE(acquired);
+}
+
+TEST(MutexTest, MutexLockRaiiUnderContention) {
+  GuardedCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&counter]() {
+      for (int i = 0; i < kIters; ++i) counter.Add(1);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(counter.Get(), uint64_t{kThreads} * kIters);
+}
+
+TEST(MutexTest, MutexLockUnlockRelock) {
+  Mutex mu;
+  MutexLock lock(&mu);
+  lock.Unlock();
+  // The lock is genuinely free in this window.
+  bool free = mu.TryLock();
+  EXPECT_TRUE(free);
+  if (free) mu.Unlock();
+  lock.Lock();
+  // Held again: a contending probe fails.
+  bool contended_acquired = true;
+  std::thread probe([&mu, &contended_acquired]() {
+    contended_acquired = mu.TryLock();
+    if (contended_acquired) mu.Unlock();
+  });
+  probe.join();
+  EXPECT_FALSE(contended_acquired);
+  // Destructor releases the relocked mutex; verified by the next test run
+  // of this suite not deadlocking (and by TSan's lock bookkeeping).
+}
+
+TEST(MutexTest, CondVarWaitLoop) {
+  Gate gate;
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> pool;
+  pool.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    pool.emplace_back([&gate]() { gate.Await(); });
+  }
+  gate.Open();
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(gate.woke(), kWaiters);
+}
+
+TEST(MutexTest, CondVarWaitWithPredicate) {
+  // The flag is deliberately unannotated: the predicate lambda is
+  // analyzed as a standalone function that cannot name the enclosing
+  // scope's held capability (mu does protect it — Wait re-holds mu
+  // around every predicate evaluation).
+  struct {
+    Mutex mu;
+    CondVar cv;
+    bool done = false;
+  } s;
+  std::thread setter([&s]() {
+    MutexLock lock(&s.mu);
+    s.done = true;
+    lock.Unlock();
+    s.cv.NotifyOne();
+  });
+  {
+    MutexLock lock(&s.mu);
+    s.cv.Wait(&s.mu, [&s] { return s.done; });
+    EXPECT_TRUE(s.done);
+  }
+  setter.join();
+}
+
+// The EXCLUDES shape under load: entry points that take the lock
+// themselves, called from many threads, with a reader mixing TryLock
+// probes in — TSan verifies no lock-order or data-race defect in the
+// wrappers themselves.
+TEST(MutexTest, ExcludesShapeHammer) {
+  GuardedCounter counter;
+  GuardedCounter probes;
+  constexpr int kWriters = 4;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> pool;
+  pool.reserve(kWriters + 1);
+  for (int t = 0; t < kWriters; ++t) {
+    pool.emplace_back([&counter]() {
+      for (int i = 0; i < kIters; ++i) counter.Add(2);
+    });
+  }
+  pool.emplace_back([&]() {
+    for (int i = 0; i < kIters; ++i) {
+      (void)counter.Get();
+      probes.Add(1);
+    }
+  });
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(counter.Get(), uint64_t{2} * kWriters * kIters);
+  EXPECT_EQ(probes.Get(), uint64_t{kIters});
+}
+
+}  // namespace
+}  // namespace tfsn

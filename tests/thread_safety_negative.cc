@@ -1,0 +1,78 @@
+// Proof that Clang Thread Safety Analysis is live in this build system.
+//
+// Compiled two ways by tests/CMakeLists.txt (Clang only):
+//
+//   * tsa_positive_compile — without TFSN_TSA_NEGATIVE, part of the normal
+//     build: the correctly-locked code below must compile cleanly under
+//     -Wthread-safety -Werror.
+//   * tsa_negative_compile — with -DTFSN_TSA_NEGATIVE, EXCLUDE_FROM_ALL,
+//     driven by the `thread_safety_negative_compile` CTest (WILL_FAIL):
+//     the same guarded member is touched WITHOUT the lock, so the build
+//     must fail. If someone turns the analysis off — drops the warning
+//     flag, breaks the macro expansion, un-annotates Mutex — that test
+//     starts "succeeding" to compile and CTest reports the failure.
+//
+// Keep this file minimal: one guarded member, one correct access, one
+// gated violation of each common kind (guarded write without the lock,
+// REQUIRES call without the lock, EXCLUDES self-deadlock).
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace tfsn {
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) TFSN_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    DepositLocked(amount);
+  }
+
+  int balance() const TFSN_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return balance_;
+  }
+
+#ifdef TFSN_TSA_NEGATIVE
+  // VIOLATION 1: guarded member written without holding mu_.
+  void DepositRacy(int amount) { balance_ += amount; }
+
+  // VIOLATION 2: calling a TFSN_REQUIRES method without the lock.
+  void DepositUnlockedCall(int amount) { DepositLocked(amount); }
+
+  // VIOLATION 3: self-deadlock — calling an EXCLUDES entry point while
+  // already holding the lock.
+  void DepositTwice(int amount) {
+    MutexLock lock(&mu_);
+    Deposit(amount);
+  }
+#endif
+
+ private:
+  void DepositLocked(int amount) TFSN_REQUIRES(mu_) { balance_ += amount; }
+
+  mutable Mutex mu_;
+  int balance_ TFSN_GUARDED_BY(mu_) = 0;
+};
+
+// Anchor so the TU is never empty and the class is instantiated.
+int Use() {
+  Account account;
+  account.Deposit(1);
+#ifdef TFSN_TSA_NEGATIVE
+  account.DepositRacy(1);
+  account.DepositUnlockedCall(1);
+  account.DepositTwice(1);
+#endif
+  return account.balance();
+}
+
+// Referenced via a volatile sink so -Wunused doesn't fire on Use().
+volatile int tsa_anchor = 0;
+struct Anchor {
+  Anchor() { tsa_anchor = Use(); }
+} anchor;
+
+}  // namespace
+}  // namespace tfsn
