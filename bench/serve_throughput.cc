@@ -5,7 +5,17 @@
 //   serve_throughput [--scale=0.12] [--workers=2] [--batch-cap=16]
 //                    [--requests=400] [--task-size=3] [--zipf=1.0]
 //                    [--max-seeds=16] [--min-jaccard=0.05] [--qps=0]
-//                    [--seed=1] [--json=...]
+//                    [--seed=1] [--json=...] [--sweep]
+//                    [--spill-dir=D] [--prewarm-frac=1.0]
+//
+// Beyond the batched-vs-unbatched comparison, the harness measures the
+// tiered row store (row_cache.h): a "batched_tiered" burst runs the same
+// stream on a fresh cache with the same byte budget but compressed rows,
+// a disk spill tier (under --spill-dir, or a private temp dir removed on
+// exit), and a Zipf prewarm in place of the flat warm pass; a
+// "compression" experiment reports the measured dense-vs-encoded ratio
+// over the stream's row working set; and --sweep runs a hit-rate-vs-
+// budget curve (10/30/100% of the working set × {flat, tiered}).
 //
 // Both modes serve the *same* deterministic Zipf request stream on the
 // Epinions-scale fixture with equal worker counts over one shared,
@@ -25,11 +35,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "src/compat/row_codec.h"
+#include "src/compat/row_spill.h"
 #include "src/compat/skill_index.h"
 #include "src/data/datasets.h"
 #include "src/serve/server.h"
@@ -66,6 +79,12 @@ struct HarnessConfig {
   double cache_fraction = 0.3;
   size_t cache_mb = 0;  // 0 = use cache_fraction
   uint64_t seed = 1;
+  /// Holder fraction PrewarmZipfHead computes for the tiered burst mode.
+  double prewarm_frac = 1.0;
+  /// Spill-tier directory ("" = private temp dir, removed on exit).
+  std::string spill_dir;
+  /// Also run the hit-rate-vs-budget sweep (6 extra burst runs).
+  bool sweep = false;
 };
 
 GreedyParams ServeGreedyParams(const HarnessConfig& config) {
@@ -165,6 +184,13 @@ void EmitBatching(bench::JsonArrayWriter* json, const ServerMetrics& metrics,
   json->Field("batch_size_dist", BatchSizeDist(metrics));
   json->Field("cache_hit_rate", cache_window.HitRate());
   json->Field("cache_lookups", cache_window.lookups());
+  // Tier counters (all zero on a flat cache; see README schema notes).
+  json->Field("compressed_mb",
+              static_cast<double>(cache_window.compressed_bytes) / (1 << 20));
+  json->Field("decodes", cache_window.decodes);
+  json->Field("decode_ms", static_cast<double>(cache_window.decode_ns) / 1e6);
+  json->Field("spill_reads", cache_window.spill_reads);
+  json->Field("spill_writes", cache_window.spill_writes);
 }
 
 int Run(const HarnessConfig& config, bench::JsonArrayWriter* json) {
@@ -238,6 +264,61 @@ int Run(const HarnessConfig& config, bench::JsonArrayWriter* json) {
         warm_timer.Seconds());
   }
 
+  // Spill-tier root for the tiered runs: per-run subdirectories so each
+  // experiment starts from an empty store. A private temp dir (removed
+  // below) keeps the default hermetic; CI passes an explicit --spill-dir.
+  std::string spill_root = config.spill_dir;
+  bool owns_spill_root = false;
+  if (spill_root.empty()) {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "tfsn-serve-spill-XXXXXX")
+            .string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) == nullptr) {
+      std::fprintf(stderr, "FATAL: cannot create a spill temp dir\n");
+      return 1;
+    }
+    spill_root.assign(buf.data());
+    owns_spill_root = true;
+  }
+
+  // Measured compression over the stream's working set: stream every
+  // touched row and compare the dense in-memory footprint against the
+  // encoded blob. (Runs on the shared warm cache — in effect a second
+  // warm pass, so the LRU steady state the burst runs inherit is
+  // unchanged.)
+  {
+    auto oracle =
+        MakeOracle(ds.graph, CompatKind::kSPM, OracleParams{}, warm_cache);
+    size_t dense_bytes = 0;
+    size_t encoded_bytes = 0;
+    oracle->StreamRows(
+        touched, /*threads=*/0,
+        [&dense_bytes, &encoded_bytes](size_t, const CompatibilityOracle::Row&
+                                                   row) {
+          dense_bytes += DenseRowBytes(row);
+          encoded_bytes += EncodeRow(row).size();
+        });
+    const double ratio =
+        encoded_bytes > 0 ? static_cast<double>(dense_bytes) / encoded_bytes
+                          : 0;
+    std::printf("compression: dense %.1f MB -> encoded %.1f MB (%.1fx)\n",
+                static_cast<double>(dense_bytes) / (1 << 20),
+                static_cast<double>(encoded_bytes) / (1 << 20), ratio);
+    if (json != nullptr) {
+      json->BeginObject();
+      json->Field("experiment", "compression");
+      EmitCommon(json, ds, config);
+      json->Field("rows", touched.size());
+      json->Field("dense_mb", static_cast<double>(dense_bytes) / (1 << 20));
+      json->Field("encoded_mb",
+                  static_cast<double>(encoded_bytes) / (1 << 20));
+      json->Field("compression_ratio", ratio);
+      json->EndObject();
+    }
+  }
+
   // Direct reference pass: every served response must match this bit for
   // bit, whatever the batching.
   std::vector<TeamResult> reference;
@@ -260,13 +341,40 @@ int Run(const HarnessConfig& config, bench::JsonArrayWriter* json) {
   // whole stream up front, so the admission queue stays deep and the
   // scheduler sees its full grouping window — peak service rate, no
   // client-thread scheduling noise.
-  double throughput[2] = {0, 0};
-  const char* mode_names[2] = {"one_task_per_view", "batched"};
-  for (int mode = 0; mode < 2; ++mode) {
+  // The third mode is the tiered row store at the *same* byte budget:
+  // compressed tier 0 (so the budget holds ~5-10x more rows), disk spill
+  // for the overflow, and a Zipf-aware prewarm in place of the flat warm
+  // pass. Bit-identity against the direct former is still enforced — the
+  // tiers only change where a row's bytes live.
+  double throughput[3] = {0, 0, 0};
+  double hit_rate[3] = {0, 0, 0};
+  const char* mode_names[3] = {"one_task_per_view", "batched",
+                               "batched_tiered"};
+  for (int mode = 0; mode < 3; ++mode) {
     const uint32_t max_batch = mode == 0 ? 1 : config.batch_cap;
-    const RowCache::StatsSnapshot before = warm_cache->SnapshotCounters();
+    std::shared_ptr<RowCache> cache = warm_cache;
+    serve::PrewarmReport prewarm;
+    if (mode == 2) {
+      RowCacheOptions tiered_options = cache_options;
+      tiered_options.compress = true;
+      tiered_options.spill =
+          std::make_shared<RowSpillStore>(spill_root + "/burst");
+      cache = std::make_shared<RowCache>(tiered_options);
+      auto oracle =
+          MakeOracle(ds.graph, CompatKind::kSPM, OracleParams{}, cache);
+      serve::PrewarmOptions pw;
+      pw.fraction = config.prewarm_frac;
+      pw.zipf_exponent = config.zipf;
+      pw.threads = 0;
+      prewarm = serve::PrewarmZipfHead(oracle.get(), ds.skills, pw);
+      std::printf("tiered prewarm: %llu/%llu holders in %.2f s\n",
+                  static_cast<unsigned long long>(prewarm.rows_prewarmed),
+                  static_cast<unsigned long long>(prewarm.holders_ranked),
+                  prewarm.seconds);
+    }
+    const RowCache::StatsSnapshot before = cache->SnapshotCounters();
     TeamFormationServer server(ds.graph, ds.skills, &index, CompatKind::kSPM,
-                               warm_cache, MakeServerOptions(config, max_batch));
+                               cache, MakeServerOptions(config, max_batch));
     WorkloadResult run = RunBurst(&server, requests);
     server.Shutdown();
     const ServerMetrics metrics = server.Metrics();
@@ -274,6 +382,7 @@ int Run(const HarnessConfig& config, bench::JsonArrayWriter* json) {
     VerifyAgainstReference(reference, run, mode_names[mode]);
     throughput[mode] =
         run.seconds > 0 ? static_cast<double>(run.completed) / run.seconds : 0;
+    hit_rate[mode] = cache_window.HitRate();
     std::printf(
         "%-18s %6.1f req/s  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  "
         "batches %llu (mean size %.2f)  cache hit %.1f%%\n",
@@ -283,6 +392,16 @@ int Run(const HarnessConfig& config, bench::JsonArrayWriter* json) {
         MsOf(metrics.total_us.ValueAtQuantile(0.99)),
         static_cast<unsigned long long>(metrics.batches),
         metrics.MeanBatchSize(), cache_window.HitRate() * 100.0);
+    if (mode == 2) {
+      std::printf(
+          "                   compressed %.2f MB resident, %llu spill reads, "
+          "%llu writes, %llu decodes (%.1f ms)\n",
+          static_cast<double>(cache_window.compressed_bytes) / (1 << 20),
+          static_cast<unsigned long long>(cache_window.spill_reads),
+          static_cast<unsigned long long>(cache_window.spill_writes),
+          static_cast<unsigned long long>(cache_window.decodes),
+          static_cast<double>(cache_window.decode_ns) / 1e6);
+    }
     if (json != nullptr) {
       json->BeginObject();
       json->Field("experiment", "burst");
@@ -290,11 +409,17 @@ int Run(const HarnessConfig& config, bench::JsonArrayWriter* json) {
       EmitCommon(json, ds, config);
       json->Field("batch_cap", max_batch);
       json->Field("min_jaccard", config.min_jaccard);
+      json->Field("tiered", mode == 2);
       EmitCacheShape(json, working_set_bytes, cache_options.max_bytes);
       json->Field("seconds", run.seconds);
       json->Field("throughput_rps", throughput[mode]);
       EmitLatency(json, metrics);
       EmitBatching(json, metrics, cache_window);
+      if (mode == 2) {
+        json->Field("prewarm_frac", config.prewarm_frac);
+        json->Field("prewarm_rows", prewarm.rows_prewarmed);
+        json->Field("prewarm_seconds", prewarm.seconds);
+      }
       json->Field("identical", true);
       json->EndObject();
     }
@@ -311,6 +436,24 @@ int Run(const HarnessConfig& config, bench::JsonArrayWriter* json) {
     json->Field("baseline_rps", throughput[0]);
     json->Field("batched_rps", throughput[1]);
     json->Field("speedup", speedup);
+    json->EndObject();
+  }
+
+  const double tiered_speedup =
+      throughput[1] > 0 ? throughput[2] / throughput[1] : 0;
+  std::printf(
+      "tiered vs flat batched speedup: %.2fx (hit rate %.1f%% -> %.1f%%)\n",
+      tiered_speedup, hit_rate[1] * 100.0, hit_rate[2] * 100.0);
+  if (json != nullptr) {
+    json->BeginObject();
+    json->Field("experiment", "tiered_speedup");
+    EmitCommon(json, ds, config);
+    EmitCacheShape(json, working_set_bytes, cache_options.max_bytes);
+    json->Field("flat_rps", throughput[1]);
+    json->Field("tiered_rps", throughput[2]);
+    json->Field("speedup", tiered_speedup);
+    json->Field("flat_hit_rate", hit_rate[1]);
+    json->Field("tiered_hit_rate", hit_rate[2]);
     json->EndObject();
   }
 
@@ -352,6 +495,74 @@ int Run(const HarnessConfig& config, bench::JsonArrayWriter* json) {
       json->EndObject();
     }
   }
+
+  // Hit-rate-vs-budget curve: the same batched burst at 10/30/100% of the
+  // working set, flat vs tiered, each on a fresh cache warmed by one pass
+  // over the touched rows (the tiered variants also start from an empty
+  // spill store). This is the curve that shows *why* compression moves
+  // the throughput needle: at a given budget the tiered cache simply
+  // holds more of the working set.
+  if (config.sweep) {
+    const double budget_fracs[3] = {0.1, 0.3, 1.0};
+    for (int tiered = 0; tiered < 2; ++tiered) {
+      for (double frac : budget_fracs) {
+        RowCacheOptions sweep_options;
+        sweep_options.max_bytes = std::max<size_t>(
+            row_bytes * 8,
+            static_cast<size_t>(static_cast<double>(working_set_bytes) *
+                                frac));
+        if (tiered == 1) {
+          sweep_options.compress = true;
+          sweep_options.spill = std::make_shared<RowSpillStore>(
+              spill_root + "/sweep-" +
+              std::to_string(static_cast<int>(frac * 100)));
+        }
+        auto cache = std::make_shared<RowCache>(sweep_options);
+        {
+          auto oracle =
+              MakeOracle(ds.graph, CompatKind::kSPM, OracleParams{}, cache);
+          oracle->StreamRows(touched, /*threads=*/0,
+                             [](size_t, const CompatibilityOracle::Row&) {});
+        }
+        const RowCache::StatsSnapshot before = cache->SnapshotCounters();
+        TeamFormationServer server(ds.graph, ds.skills, &index,
+                                   CompatKind::kSPM, cache,
+                                   MakeServerOptions(config, config.batch_cap));
+        WorkloadResult run = RunBurst(&server, requests);
+        server.Shutdown();
+        const ServerMetrics metrics = server.Metrics();
+        const RowCache::StatsSnapshot cache_window = metrics.cache - before;
+        VerifyAgainstReference(reference, run,
+                               tiered == 1 ? "sweep_tiered" : "sweep_flat");
+        const double rps =
+            run.seconds > 0 ? static_cast<double>(run.completed) / run.seconds
+                            : 0;
+        std::printf(
+            "sweep %-6s budget %3.0f%%: %6.1f req/s  cache hit %.1f%%\n",
+            tiered == 1 ? "tiered" : "flat", frac * 100.0, rps,
+            cache_window.HitRate() * 100.0);
+        if (json != nullptr) {
+          json->BeginObject();
+          json->Field("experiment", "budget_sweep");
+          json->Field("mode", "batched");
+          EmitCommon(json, ds, config);
+          json->Field("tiered", tiered == 1);
+          json->Field("budget_frac", frac);
+          EmitCacheShape(json, working_set_bytes, sweep_options.max_bytes);
+          json->Field("seconds", run.seconds);
+          json->Field("throughput_rps", rps);
+          EmitBatching(json, metrics, cache_window);
+          json->Field("identical", true);
+          json->EndObject();
+        }
+      }
+    }
+  }
+
+  if (owns_spill_root) {
+    std::error_code ec;
+    std::filesystem::remove_all(spill_root, ec);
+  }
   return 0;
 }
 
@@ -375,6 +586,9 @@ int main(int argc, char** argv) {
   config.cache_fraction = flags.GetDouble("cache_frac", 0.3);
   config.cache_mb = static_cast<size_t>(flags.GetInt("cache_mb", 0));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  config.prewarm_frac = flags.GetDouble("prewarm_frac", 1.0);
+  config.spill_dir = flags.GetString("spill_dir");
+  config.sweep = flags.GetBool("sweep");
 
   const std::string json_path = flags.GetString("json");
   tfsn::bench::JsonArrayWriter json;

@@ -6,12 +6,19 @@
 //                    [--relation=spm] [--algorithm=lcmd|lcmc|random] [--topk=3]
 //   tfsn_cli serve   --dataset=epinions --scale=0.08 --qps=50 --duration=5
 //                    [--workers=2] [--batch-cap=16] [--seed=1] [--replay]
+//                    [--compress=on] [--spill-dir=D] [--prewarm-frac=0.1]
 //   tfsn_cli export  --dataset=wikipedia --out=wiki.edges --skills_out=wiki.skills
 //
 // Global performance flags: --threads=N computes oracle rows (and the
 // stats diameter sweep) on N workers sharing one row cache (0 = hardware
 // concurrency / TFSN_THREADS); --cache-mb=M bounds that cache's byte
-// budget (default 256). `team` additionally takes --seed-threads=N to run
+// budget (default 256). The cache is a tiered row store (row_cache.h):
+// --compress=on keeps rows compressed in memory (the budget then buys
+// proportionally more rows), --spill-dir=D spills evictions to an on-disk
+// store consulted before recomputing, and `serve --prewarm-frac=F`
+// bulk-computes the hottest F of holders before traffic. All three are
+// representation/locality knobs only — teams and the --replay digest are
+// bit-identical across every combination. `team` additionally takes --seed-threads=N to run
 // each formation's seed loop on N workers over the task-local dense view
 // (results are identical for every setting) and --eval-path=auto|view|
 // oracle to pin the evaluation path.
@@ -60,9 +67,13 @@ int Usage() {
                "       [--replay]            deterministic burst replay:\n"
                "                             prints a team digest two runs\n"
                "                             reproduce bit for bit\n"
+               "       [--prewarm-frac=F]    prewarm the hottest F of\n"
+               "                             holders before traffic\n"
                "  export --out=F             write graph [--skills_out=G]\n"
                "global: --threads=N row-computation workers (0 = auto)\n"
                "        --cache-mb=M shared row-cache budget (default 256)\n"
+               "        --compress=on|off compressed in-cache rows\n"
+               "        --spill-dir=D spill evicted rows to disk under D\n"
                "        --seed-threads=N team seed-loop workers (0 = auto)\n"
                "        --eval-path=auto|view|oracle team evaluation path\n");
   return 1;
@@ -92,6 +103,24 @@ std::shared_ptr<RowCache> CacheOf(const Flags& flags) {
   RowCacheOptions options;
   // Flags normalizes --cache-mb and --cache_mb to one key.
   options.max_bytes = static_cast<size_t>(flags.GetInt("cache_mb", 256)) << 20;
+  // Tiered row store knobs (see row_cache.h). Representation only: teams
+  // and the serve digest are bit-identical across every setting.
+  const std::string compress = flags.GetString("compress", "off");
+  options.compress = compress == "on";
+  if (compress != "on" && compress != "off") {
+    std::fprintf(stderr, "--compress takes on|off, got '%s'\n",
+                 compress.c_str());
+    std::exit(1);
+  }
+  if (flags.Has("spill_dir")) {
+    options.spill =
+        std::make_shared<RowSpillStore>(flags.GetString("spill_dir"));
+    if (!options.spill->ok()) {
+      std::fprintf(stderr, "cannot open spill dir '%s'\n",
+                   flags.GetString("spill_dir").c_str());
+      std::exit(1);
+    }
+  }
   return std::make_shared<RowCache>(options);
 }
 
@@ -258,6 +287,23 @@ int CmdServe(const Flags& flags) {
   std::vector<serve::TeamRequest> requests =
       serve::GenerateRequests(ds.skills, wl);
 
+  // Tier-2 prewarm: bulk-compute the Zipf-hot holders' rows into the
+  // shared cache before the server opens (the index oracle shares the
+  // cache and the default params, so its keys match the workers').
+  const double prewarm_frac = flags.GetDouble("prewarm_frac", 0.0);
+  if (prewarm_frac > 0) {
+    serve::PrewarmOptions pw;
+    pw.fraction = prewarm_frac;
+    pw.zipf_exponent = wl.zipf_exponent;
+    pw.threads = threads;
+    const serve::PrewarmReport report =
+        serve::PrewarmZipfHead(index_oracle.get(), ds.skills, pw);
+    std::printf("prewarm   : %llu/%llu holders in %.2f s\n",
+                static_cast<unsigned long long>(report.rows_prewarmed),
+                static_cast<unsigned long long>(report.holders_ranked),
+                report.seconds);
+  }
+
   const RowCache::StatsSnapshot cache_before = cache->SnapshotCounters();
   serve::TeamFormationServer server(ds.graph, ds.skills, &index, kind, cache,
                                     options);
@@ -290,6 +336,15 @@ int CmdServe(const Flags& flags) {
   std::printf("row cache : %.1f%% hit rate over %llu lookups\n",
               cache_window.HitRate() * 100.0,
               static_cast<unsigned long long>(cache_window.lookups()));
+  if (cache->options().compress || cache->spill() != nullptr) {
+    std::printf("tiers     : %.2f MB compressed resident, %llu spill reads, "
+                "%llu writes, %llu decodes (%.1f ms)\n",
+                cache_window.compressed_bytes / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(cache_window.spill_reads),
+                static_cast<unsigned long long>(cache_window.spill_writes),
+                static_cast<unsigned long long>(cache_window.decodes),
+                cache_window.decode_ns / 1e6);
+  }
   uint64_t solved = 0;
   for (const serve::TeamResponse& resp : run.responses) {
     solved += resp.result.found;

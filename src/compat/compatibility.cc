@@ -47,6 +47,8 @@ std::shared_ptr<RowCache> PrivateCache(const OracleParams& params) {
   options.max_rows = params.max_cached_rows;
   options.max_bytes = params.cache_bytes;
   options.shards = 1;  // exact row-count semantics, no striping overhead
+  options.compress = params.compress;
+  options.spill = params.spill;
   return std::make_shared<RowCache>(options);
 }
 

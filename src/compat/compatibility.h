@@ -4,8 +4,10 @@
 //
 // Architecture (three layers):
 //   row_kernels — pure, stateless ComputeRow functions, one per relation.
-//   RowCache    — thread-safe sharded LRU cache of computed rows, shareable
-//                 across oracles and worker threads.
+//   RowCache    — thread-safe sharded LRU tiered row store (optionally
+//                 compressed in memory, spilling evictions to disk; see
+//                 row_cache.h), shareable across oracles and worker
+//                 threads.
 //   CompatibilityOracle (this header) — a thin façade binding (graph,
 //                 relation, params) to a cache, with the paper's pair
 //                 semantics (reflexivity, SBPH symmetric closure) and a
@@ -40,6 +42,13 @@ struct OracleParams {
   size_t max_cached_rows = 2048;
   /// Optional byte budget for the private cache (0 = row cap only).
   size_t cache_bytes = 0;
+  /// Tier 0 compression for the private cache (see RowCacheOptions).
+  /// Representation only — rows decode bit-identically, and the cache key
+  /// fingerprint does not include it, so compressed and flat caches over
+  /// the same configuration agree on every key.
+  bool compress = false;
+  /// Tier 1 spill store for the private cache (see RowCacheOptions).
+  std::shared_ptr<RowSpillStore> spill;
   /// Exact-SBP engine tuning (kSBP only).
   SbpExactParams sbp;
   /// Depth bound for the SBPH search (kSBPH only).

@@ -1,4 +1,4 @@
-// Thread-safe shared cache of compatibility rows.
+// Thread-safe shared cache of compatibility rows — a tiered row store.
 //
 // Rows are keyed by an opaque 64-bit key (the oracle façade packs a
 // configuration tag into the high half and the source node into the low
@@ -6,6 +6,26 @@
 // cache without colliding). The cache is mutex-striped into shards; each
 // shard runs byte-budgeted LRU eviction, so hot rows survive mixed
 // workloads where the old per-oracle FIFO thrashed.
+//
+// Three tiers (each optional; the defaults are the flat PR 2 cache):
+//
+//   Tier 0 — in-memory rows. With options.compress the resident form is a
+//     compressed blob (row_codec.h: bit-packed comp + bit-packed/RLE
+//     distances, typically 5-10x smaller than the dense row), decoded on
+//     pin into the usual shared_ptr<const CompatRow>. The *blob* is what
+//     the byte budget charges, so a given budget holds proportionally
+//     more rows. A weak_ptr memoizes the live decode: while any caller
+//     pins the row, further Gets return the same pointer without
+//     re-decoding.
+//   Tier 1 — disk spill. With options.spill set, eviction appends the
+//     blob to the RowSpillStore (row_spill.h) instead of discarding it,
+//     and a tier-0 miss consults the store before reporting a miss — a
+//     disk read + decode instead of a full signed-BFS recompute. Rows
+//     promoted back from the spill are not re-appended on their next
+//     eviction (the store already holds the identical blob).
+//   Tier 2 — offline prewarm. Not in this class: serve::PrewarmZipfHead
+//     (serve/workload.h) bulk-computes the Zipf-hot holders' rows into
+//     the cache through the batched oracle API before a server opens.
 //
 // Rows are handed out as shared_ptr<const CompatRow>: eviction merely
 // drops the cache's reference, so readers on other threads keep their rows
@@ -17,6 +37,8 @@
 // with another thread computing the same key; Insert keeps the first row
 // and returns it, so callers always agree on one row per key (kernels are
 // deterministic, so the discarded duplicate is bit-identical anyway).
+// Spill IO runs outside the shard mutexes; the shard -> spill lock order
+// is acyclic (the store never calls back into the cache).
 
 #pragma once
 
@@ -26,6 +48,7 @@
 #include <list>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "src/compat/row_kernels.h"
 #include "src/util/mutex.h"
@@ -33,10 +56,13 @@
 
 namespace tfsn {
 
+class RowSpillStore;
+
 /// Cache tuning. Budgets are split evenly across shards.
 struct RowCacheOptions {
-  /// Total byte budget across shards (0 = unbounded). A row costs roughly
-  /// 5 bytes per graph node.
+  /// Total byte budget across shards (0 = unbounded). A dense row costs
+  /// roughly 5 bytes per graph node; a compressed one typically 5-10x
+  /// less, and the budget charges the resident (compressed) size.
   size_t max_bytes = 256ull << 20;
   /// Total row-count budget (0 = unbounded). With several shards the cap
   /// is approximate: each shard holds at most max(1, max_rows / shards).
@@ -45,41 +71,74 @@ struct RowCacheOptions {
   /// single-thread cache (exact row-count semantics), more under
   /// multi-threaded sharing.
   uint32_t shards = 8;
+  /// Tier 0 compression: store rows as row_codec blobs, decode on pin.
+  bool compress = false;
+  /// Tier 1: spill evicted rows here instead of discarding them (shared
+  /// so callers can inspect RowSpillStore::stats()). Works with or
+  /// without `compress` — uncompressed entries are encoded at eviction.
+  std::shared_ptr<RowSpillStore> spill;
 };
 
-/// Point-in-time counters. hits/misses/evictions/insertions are monotonic;
-/// rows_in_use/bytes_in_use reflect current occupancy.
+/// Point-in-time counters. hits/misses/evictions/insertions and the tier
+/// counters are monotonic; rows_in_use/bytes_in_use/compressed_bytes
+/// reflect current occupancy.
 struct RowCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t insertions = 0;
+  uint64_t decodes = 0;
+  uint64_t decode_ns = 0;
+  uint64_t spill_reads = 0;
+  uint64_t spill_writes = 0;
   size_t rows_in_use = 0;
   size_t bytes_in_use = 0;
+  size_t compressed_bytes = 0;
 };
 
 class RowCache {
  public:
-  /// Copyable point-in-time copy of the monotonic counters, read with
-  /// relaxed atomic loads only — unlike stats(), taking one never touches
-  /// a shard mutex, so metrics loops (e.g. the serving layer's per-window
-  /// cache hit rate) can snapshot at arbitrary frequency without stalling
-  /// row lookups. Subtract two snapshots to get a window's deltas.
+  /// Copyable point-in-time copy of the counters, read with relaxed
+  /// atomic loads only — unlike stats(), taking one never touches a shard
+  /// mutex, so metrics loops (e.g. the serving layer's per-window cache
+  /// hit rate) can snapshot at arbitrary frequency without stalling row
+  /// lookups. Subtract two snapshots to get a window's deltas.
   struct StatsSnapshot {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t insertions = 0;
+    /// Tier counters: blob decodes (count + total nanoseconds), rows
+    /// served out of the spill tier, and blobs appended to it.
+    uint64_t decodes = 0;
+    uint64_t decode_ns = 0;
+    uint64_t spill_reads = 0;
+    uint64_t spill_writes = 0;
+    /// Occupancy gauge, not a counter: compressed blob bytes resident in
+    /// tier 0 at snapshot time. operator- carries the newer snapshot's
+    /// value through unchanged (a gauge has no meaningful delta).
+    uint64_t compressed_bytes = 0;
 
     /// Counter deltas `this - earlier` (counters are monotonic, so the
     /// result is well-defined when `earlier` was taken first).
     StatsSnapshot operator-(const StatsSnapshot& earlier) const {
-      return {hits - earlier.hits, misses - earlier.misses,
-              evictions - earlier.evictions, insertions - earlier.insertions};
+      StatsSnapshot d;
+      d.hits = hits - earlier.hits;
+      d.misses = misses - earlier.misses;
+      d.evictions = evictions - earlier.evictions;
+      d.insertions = insertions - earlier.insertions;
+      d.decodes = decodes - earlier.decodes;
+      d.decode_ns = decode_ns - earlier.decode_ns;
+      d.spill_reads = spill_reads - earlier.spill_reads;
+      d.spill_writes = spill_writes - earlier.spill_writes;
+      d.compressed_bytes = compressed_bytes;
+      return d;
     }
 
     uint64_t lookups() const { return hits + misses; }
-    /// hits / (hits + misses); 0 when no lookups happened.
+    /// hits / (hits + misses); 0 when no lookups happened. A row served
+    /// from the spill tier counts as a hit (the caller was spared the
+    /// recompute); spill_reads says how many hits came from disk.
     double HitRate() const {
       const uint64_t total = lookups();
       return total == 0 ? 0.0 : static_cast<double>(hits) / total;
@@ -90,8 +149,11 @@ class RowCache {
   RowCache(const RowCache&) = delete;
   RowCache& operator=(const RowCache&) = delete;
 
-  /// The cached row for `key`, or nullptr on miss. A hit refreshes the
-  /// row's LRU position. Pass count_miss = false when re-probing a key
+  /// The cached row for `key`, or nullptr on miss in every tier. A tier-0
+  /// hit refreshes the row's LRU position (decoding the blob first when
+  /// compressed and no pinned decode is live); a tier-0 miss consults the
+  /// spill store and, on success, promotes the blob back into tier 0 —
+  /// both count as hits. Pass count_miss = false when re-probing a key
   /// whose miss was already recorded (e.g. just before computing it), so
   /// the hit/miss counters keep one entry per logical lookup.
   std::shared_ptr<const CompatRow> Get(uint64_t key, bool count_miss = true);
@@ -99,25 +161,36 @@ class RowCache {
   /// Inserts `row` under `key` and returns it; if another thread inserted
   /// `key` first, the existing row is returned instead and `row` is
   /// dropped. Runs LRU eviction afterwards (the newest row is never the
-  /// victim).
+  /// victim); evicted rows spill to tier 1 when configured.
   std::shared_ptr<const CompatRow> Insert(uint64_t key, CompatRow row);
 
   /// Aggregated counters (locks each shard briefly for occupancy).
   RowCacheStats stats() const;
 
-  /// Lock-free counter snapshot (no occupancy; see StatsSnapshot).
+  /// Lock-free counter snapshot (no per-shard occupancy; see
+  /// StatsSnapshot).
   StatsSnapshot SnapshotCounters() const;
 
-  /// Drops every cached row (counters are retained).
+  /// Drops every cached row and clears the spill store (counters are
+  /// retained).
   void Clear();
 
   const RowCacheOptions& options() const { return options_; }
+  RowSpillStore* spill() const { return options_.spill.get(); }
 
  private:
   struct Entry {
-    uint64_t key;
-    size_t bytes;
+    uint64_t key = 0;
+    size_t bytes = 0;  // charged against the byte budget
+    /// Flat mode: the row itself (blob empty). Compressed mode: row is
+    /// null and the blob is authoritative; `pinned` memoizes the live
+    /// decode.
     std::shared_ptr<const CompatRow> row;
+    std::vector<uint8_t> blob;
+    std::weak_ptr<const CompatRow> pinned;
+    /// The spill store already holds this exact blob (promoted from it,
+    /// or spilled before): skip the append on eviction.
+    bool in_spill = false;
   };
   struct Shard {
     mutable Mutex mu;
@@ -128,25 +201,43 @@ class RowCache {
   };
 
   Shard& ShardFor(uint64_t key);
+  // The entry's row, decoding the blob if no live decode exists. Bumps
+  // the decode counters; returns nullptr only on blob corruption (cannot
+  // happen for blobs this cache encoded).
+  std::shared_ptr<const CompatRow> PinEntryLocked(Shard* shard, Entry* entry)
+      TFSN_REQUIRES(shard->mu);
   // Evicts from the back of `shard` until budgets hold; never removes the
-  // front (most recent) entry.
-  void EvictLocked(Shard* shard) TFSN_REQUIRES(shard->mu);
+  // front (most recent) entry. Victims destined for the spill store are
+  // moved into *spill_out (written by the caller after unlocking).
+  void EvictLocked(Shard* shard, std::vector<Entry>* spill_out)
+      TFSN_REQUIRES(shard->mu);
+  // Appends the evicted entries to the spill store (no shard lock held).
+  void SpillEvicted(std::vector<Entry> victims);
+  // Links `entry` at the shard's LRU front and charges its bytes.
+  void LinkFrontLocked(Shard* shard, Entry entry) TFSN_REQUIRES(shard->mu);
 
   RowCacheOptions options_;
   uint32_t num_shards_;
   size_t shard_max_bytes_;  // 0 = unbounded
   size_t shard_max_rows_;   // 0 = unbounded
   std::unique_ptr<Shard[]> shards_;
-  // Lock-free ordering contract: the four counters below are monotonic
-  // event tallies bumped with relaxed RMWs and read with relaxed loads
-  // (SnapshotCounters). No other data is published through them, so no
-  // acquire/release pairing is needed; totals are exact because
-  // fetch_add is atomic, only cross-counter skew is possible (a snapshot
-  // may see an insert's `insertions_` bump before its `evictions_` one).
+  // Lock-free ordering contract: the counters below are monotonic event
+  // tallies bumped with relaxed RMWs and read with relaxed loads
+  // (SnapshotCounters); compressed_bytes_ is an occupancy gauge adjusted
+  // with relaxed add/sub under the owning shard's mutex. No other data is
+  // published through them, so no acquire/release pairing is needed;
+  // totals are exact because fetch_add is atomic, only cross-counter skew
+  // is possible (a snapshot may see an insert's `insertions_` bump before
+  // its `evictions_` one).
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> insertions_{0};
+  mutable std::atomic<uint64_t> decodes_{0};
+  mutable std::atomic<uint64_t> decode_ns_{0};
+  mutable std::atomic<uint64_t> spill_reads_{0};
+  std::atomic<uint64_t> spill_writes_{0};
+  std::atomic<uint64_t> compressed_bytes_{0};
 };
 
 }  // namespace tfsn

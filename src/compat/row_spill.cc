@@ -1,0 +1,272 @@
+#include "src/compat/row_spill.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "src/util/crc32.h"
+
+namespace tfsn {
+
+namespace {
+
+// 'T' 'F' 'R' '1' in file order.
+constexpr uint32_t kRecordMagic = 0x31524654u;
+constexpr size_t kRecordHeaderBytes = 20;
+// Spilled rows are at most a few hundred KB (a compressed CompatRow);
+// anything larger in a header is structural corruption, not data.
+constexpr uint32_t kMaxPayloadBytes = 1u << 28;
+
+struct RecordHeader {
+  uint32_t magic;
+  uint64_t key;
+  uint32_t len;
+  uint32_t crc;
+};
+
+void SerializeHeader(const RecordHeader& h, uint8_t* out) {
+  std::memcpy(out, &h.magic, 4);
+  std::memcpy(out + 4, &h.key, 8);
+  std::memcpy(out + 12, &h.len, 4);
+  std::memcpy(out + 16, &h.crc, 4);
+}
+
+void ParseHeader(const uint8_t* in, RecordHeader* h) {
+  std::memcpy(&h->magic, in, 4);
+  std::memcpy(&h->key, in + 4, 8);
+  std::memcpy(&h->len, in + 12, 4);
+  std::memcpy(&h->crc, in + 16, 4);
+}
+
+std::string SegmentName(uint32_t key_hi) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "rows-%08x.seg", key_hi);
+  return buf;
+}
+
+}  // namespace
+
+RowSpillStore::RowSpillStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return;
+  ok_ = true;
+
+  // Rebuild the index from whatever segments a previous run left behind
+  // (sorted for a deterministic segment order).
+  std::vector<uint32_t> found;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    uint32_t key_hi = 0;
+    if (std::sscanf(name.c_str(), "rows-%x.seg", &key_hi) == 1 &&
+        name == SegmentName(key_hi)) {
+      found.push_back(key_hi);
+    }
+  }
+  std::sort(found.begin(), found.end());
+  MutexLock lock(&mu_);
+  for (uint32_t key_hi : found) OpenSegmentLocked(key_hi, /*scan=*/true);
+}
+
+RowSpillStore::~RowSpillStore() {
+  MutexLock lock(&mu_);
+  for (Segment& seg : segments_) {
+    if (seg.map != nullptr) ::munmap(seg.map, seg.map_len);
+    if (seg.fd >= 0) ::close(seg.fd);
+  }
+}
+
+bool RowSpillStore::OpenSegmentLocked(uint32_t key_hi, bool scan) {
+  Segment seg;
+  seg.key_hi = key_hi;
+  seg.path = dir_ + "/" + SegmentName(key_hi);
+  seg.fd = ::open(seg.path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (seg.fd < 0) return false;
+  struct stat st {};
+  if (::fstat(seg.fd, &st) != 0) {
+    ::close(seg.fd);
+    return false;
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  const uint32_t segment_id = static_cast<uint32_t>(segments_.size());
+
+  uint64_t pos = 0;
+  if (scan && file_size >= kRecordHeaderBytes) {
+    std::vector<uint8_t> payload;
+    while (pos + kRecordHeaderBytes <= file_size) {
+      uint8_t raw[kRecordHeaderBytes];
+      if (::pread(seg.fd, raw, sizeof(raw), static_cast<off_t>(pos)) !=
+          static_cast<ssize_t>(sizeof(raw))) {
+        break;
+      }
+      RecordHeader header{};
+      ParseHeader(raw, &header);
+      if (header.magic != kRecordMagic || header.len > kMaxPayloadBytes ||
+          pos + kRecordHeaderBytes + header.len > file_size ||
+          (header.key >> 32) != key_hi) {
+        // Structurally broken (the shape a crash mid-append leaves): the
+        // rest of the file is unusable as a record stream.
+        ++stats_.corrupt_dropped;
+        break;
+      }
+      payload.resize(header.len);
+      if (::pread(seg.fd, payload.data(), header.len,
+                  static_cast<off_t>(pos + kRecordHeaderBytes)) !=
+          static_cast<ssize_t>(header.len)) {
+        ++stats_.corrupt_dropped;
+        break;
+      }
+      if (Crc32(payload.data(), payload.size()) == header.crc) {
+        // Later records supersede earlier ones for the same key.
+        auto [it, inserted] =
+            index_.try_emplace(header.key,
+                               Location{segment_id, pos, header.len});
+        if (!inserted) {
+          it->second = Location{segment_id, pos, header.len};
+        } else {
+          ++stats_.records;
+        }
+      } else {
+        // Torn payload with an intact shell: skip just this record.
+        ++stats_.corrupt_dropped;
+      }
+      pos += kRecordHeaderBytes + header.len;
+    }
+    if (pos < file_size) {
+      // Drop the broken tail so future appends produce a clean stream.
+      if (::ftruncate(seg.fd, static_cast<off_t>(pos)) != 0) {
+        // Could not truncate: appends would land after garbage. Disable
+        // appends by leaving size at the broken offset anyway — the scan
+        // on the *next* open stops at the same place.
+      }
+    }
+  } else if (!scan) {
+    pos = file_size;
+  }
+  seg.size = pos;
+  segment_of_hi_.emplace(key_hi, segment_id);
+  segments_.push_back(seg);
+  ++stats_.segments;
+  stats_.file_bytes += seg.size;
+  return true;
+}
+
+RowSpillStore::Segment* RowSpillStore::SegmentForLocked(uint32_t key_hi,
+                                                        bool create) {
+  auto it = segment_of_hi_.find(key_hi);
+  if (it != segment_of_hi_.end()) return &segments_[it->second];
+  if (!create) return nullptr;
+  if (!OpenSegmentLocked(key_hi, /*scan=*/false)) return nullptr;
+  return &segments_.back();
+}
+
+bool RowSpillStore::EnsureMappedLocked(Segment* seg, uint64_t end) {
+  if (end <= seg->map_len) return true;
+  if (seg->map != nullptr) {
+    ::munmap(seg->map, seg->map_len);
+    seg->map = nullptr;
+    seg->map_len = 0;
+  }
+  void* map = ::mmap(nullptr, seg->size, PROT_READ, MAP_SHARED, seg->fd, 0);
+  if (map == MAP_FAILED) return false;
+  seg->map = static_cast<uint8_t*>(map);
+  seg->map_len = seg->size;
+  return end <= seg->map_len;
+}
+
+bool RowSpillStore::Append(uint64_t key, std::span<const uint8_t> payload) {
+  if (!ok_ || payload.size() > kMaxPayloadBytes) return false;
+  RecordHeader header;
+  header.magic = kRecordMagic;
+  header.key = key;
+  header.len = static_cast<uint32_t>(payload.size());
+  header.crc = Crc32(payload.data(), payload.size());
+
+  std::vector<uint8_t> record(kRecordHeaderBytes + payload.size());
+  SerializeHeader(header, record.data());
+  std::memcpy(record.data() + kRecordHeaderBytes, payload.data(),
+              payload.size());
+
+  MutexLock lock(&mu_);
+  Segment* seg = SegmentForLocked(static_cast<uint32_t>(key >> 32),
+                                  /*create=*/true);
+  if (seg == nullptr) return false;
+  const uint64_t offset = seg->size;
+  if (::pwrite(seg->fd, record.data(), record.size(),
+               static_cast<off_t>(offset)) !=
+      static_cast<ssize_t>(record.size())) {
+    return false;
+  }
+  seg->size += record.size();
+  stats_.file_bytes += record.size();
+  const uint32_t segment_id =
+      static_cast<uint32_t>(seg - segments_.data());
+  auto [it, inserted] =
+      index_.try_emplace(key, Location{segment_id, offset, header.len});
+  if (!inserted) {
+    it->second = Location{segment_id, offset, header.len};
+  } else {
+    ++stats_.records;
+  }
+  ++stats_.appends;
+  return true;
+}
+
+bool RowSpillStore::Read(uint64_t key, std::vector<uint8_t>* payload) {
+  if (!ok_) return false;
+  MutexLock lock(&mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  const Location loc = it->second;
+  Segment* seg = &segments_[loc.segment];
+  const uint64_t end = loc.offset + kRecordHeaderBytes + loc.len;
+  if (!EnsureMappedLocked(seg, end)) return false;
+  RecordHeader header{};
+  ParseHeader(seg->map + loc.offset, &header);
+  payload->assign(seg->map + loc.offset + kRecordHeaderBytes,
+                  seg->map + end);
+  if (header.magic != kRecordMagic || header.len != loc.len ||
+      Crc32(payload->data(), payload->size()) != header.crc) {
+    // Torn after indexing: degrade to a miss and stop serving the record.
+    index_.erase(it);
+    --stats_.records;
+    ++stats_.corrupt_dropped;
+    return false;
+  }
+  ++stats_.reads;
+  return true;
+}
+
+bool RowSpillStore::Contains(uint64_t key) {
+  MutexLock lock(&mu_);
+  return index_.find(key) != index_.end();
+}
+
+void RowSpillStore::Clear() {
+  MutexLock lock(&mu_);
+  index_.clear();
+  stats_.records = 0;
+  stats_.file_bytes = 0;
+  for (Segment& seg : segments_) {
+    if (seg.map != nullptr) {
+      ::munmap(seg.map, seg.map_len);
+      seg.map = nullptr;
+      seg.map_len = 0;
+    }
+    if (seg.fd >= 0 && ::ftruncate(seg.fd, 0) == 0) seg.size = 0;
+  }
+}
+
+RowSpillStats RowSpillStore::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+}  // namespace tfsn

@@ -1,0 +1,134 @@
+// RowSpillStore — tier 1 of the tiered row store (see row_cache.h): an
+// mmap-backed, append-mostly on-disk home for evicted row blobs.
+//
+// Recomputing an evicted row costs a full signed BFS (~100 µs and up);
+// re-reading its compressed blob from disk costs a memcpy out of a mapped
+// segment. The cache therefore spills evicted blobs here instead of
+// discarding them, and consults the store on a tier-0 miss before falling
+// back to recompute.
+//
+// Layout: one segment file per key "kind" — the high 32 bits of the cache
+// key, i.e. the oracle's (graph, relation, params) fingerprint — named
+// rows-<hi32>.seg under the store directory. Records are appended
+// sequentially; an in-memory index maps key -> (segment, offset, length).
+// Re-spilling a key appends a fresh record and repoints the index (the old
+// bytes become dead space — append-mostly, no compaction).
+//
+// Record layout (little-endian):
+//   u32 magic   'TFR1'
+//   u64 key
+//   u32 len     payload bytes
+//   u32 crc     CRC-32 of the payload
+//   payload
+//
+// Crash consistency: opening a directory rescans every segment record by
+// record. A structurally broken tail (bad magic, impossible length,
+// truncated payload — the shape a crash mid-append leaves) ends the scan
+// and the file is truncated to the last good record, so future appends
+// stay well-formed. A record whose CRC does not match its bytes is
+// skipped (never indexed, never served); the row is simply recomputed on
+// next use. Reads verify the CRC again, so a record torn after indexing
+// degrades to a miss, not corrupt data.
+//
+// Thread safety: all member functions are safe from any thread (one
+// internal mutex; the store never calls back into the cache, so the
+// cache-shard -> spill lock order is acyclic).
+//
+// The same lifetime hazard as RowCache applies (keys embed the graph by
+// address): never reuse a spill directory across graph lifetimes without
+// Clear().
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace tfsn {
+
+/// Monotonic spill-store counters plus current occupancy.
+struct RowSpillStats {
+  uint64_t appends = 0;
+  uint64_t reads = 0;
+  /// Read or open-scan records rejected by CRC / structure checks.
+  uint64_t corrupt_dropped = 0;
+  /// Records currently indexed (live, latest version per key).
+  uint64_t records = 0;
+  /// Total on-disk bytes across segments (includes dead superseded
+  /// records — append-mostly).
+  uint64_t file_bytes = 0;
+  uint64_t segments = 0;
+};
+
+class RowSpillStore {
+ public:
+  /// Opens (creating if needed) the store under `dir` and rebuilds the
+  /// index from any existing segments (see crash-consistency notes above).
+  explicit RowSpillStore(std::string dir);
+  ~RowSpillStore();
+
+  RowSpillStore(const RowSpillStore&) = delete;
+  RowSpillStore& operator=(const RowSpillStore&) = delete;
+
+  /// True when the directory could be created/opened; a dead store
+  /// degrades every Append/Read to a no-op/miss rather than failing the
+  /// caller.
+  bool ok() const { return ok_; }
+
+  /// Appends `payload` as the new record for `key`. Returns false on IO
+  /// failure (the previous record for the key, if any, stays served).
+  bool Append(uint64_t key, std::span<const uint8_t> payload);
+
+  /// Reads the payload of `key` into `*payload` (CRC-verified). False on
+  /// miss or verification failure.
+  bool Read(uint64_t key, std::vector<uint8_t>* payload);
+
+  /// True when a live record for `key` is indexed.
+  bool Contains(uint64_t key);
+
+  /// Drops the index and truncates every segment to zero bytes.
+  void Clear();
+
+  RowSpillStats stats() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct Location {
+    uint32_t segment;
+    uint64_t offset;  // of the record header
+    uint32_t len;     // payload bytes
+  };
+  struct Segment {
+    uint32_t key_hi = 0;
+    int fd = -1;
+    uint64_t size = 0;      // valid bytes (append position)
+    uint8_t* map = nullptr;  // read mapping; may lag behind size
+    uint64_t map_len = 0;
+    std::string path;
+  };
+
+  // Scans an existing segment file, indexing valid records; truncates a
+  // structurally broken tail. Returns false when the file cannot be
+  // opened.
+  bool OpenSegmentLocked(uint32_t key_hi, bool scan) TFSN_REQUIRES(mu_);
+  Segment* SegmentForLocked(uint32_t key_hi, bool create) TFSN_REQUIRES(mu_);
+  // Ensures seg->map covers [0, seg->size); remaps on growth.
+  bool EnsureMappedLocked(Segment* seg, uint64_t end) TFSN_REQUIRES(mu_);
+
+  std::string dir_;
+  bool ok_ = false;
+  mutable Mutex mu_;
+  std::vector<Segment> segments_ TFSN_GUARDED_BY(mu_);
+  std::unordered_map<uint32_t, uint32_t> segment_of_hi_ TFSN_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, Location> index_ TFSN_GUARDED_BY(mu_);
+  RowSpillStats stats_ TFSN_GUARDED_BY(mu_);
+};
+
+}  // namespace tfsn

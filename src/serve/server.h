@@ -24,7 +24,12 @@
 // is), its own GreedyTeamFormer, and a private metrics block merged on
 // demand by Metrics(). Latency is tracked per request with
 // util/latency_histogram; cache hit rate comes from lock-free
-// RowCache::StatsSnapshot deltas.
+// RowCache::StatsSnapshot deltas. The shared cache may be tiered
+// (compressed rows, disk spill — see row_cache.h) and prewarmed before
+// traffic with serve::PrewarmZipfHead; workers are oblivious either way
+// (rows decode bit-identically), and the snapshot's tier counters
+// (compressed_bytes, spill reads/writes, decode time) flow through
+// Metrics() unchanged.
 
 #pragma once
 

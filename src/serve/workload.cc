@@ -40,6 +40,61 @@ Task ZipfTaskSampler::Sample(uint32_t task_size, Rng* rng) const {
   return Task(std::move(picked));
 }
 
+PrewarmReport PrewarmZipfHead(CompatibilityOracle* oracle,
+                              const SkillAssignment& skills,
+                              const PrewarmOptions& options) {
+  PrewarmReport report;
+  Timer timer;
+  if (options.fraction <= 0) return report;
+
+  // Rank held skills by holder count, exactly like ZipfTaskSampler.
+  std::vector<SkillId> by_rank;
+  by_rank.reserve(skills.num_skills());
+  for (SkillId s = 0; s < skills.num_skills(); ++s) {
+    if (skills.Frequency(s) > 0) by_rank.push_back(s);
+  }
+  std::stable_sort(by_rank.begin(), by_rank.end(),
+                   [&skills](SkillId a, SkillId b) {
+                     return skills.Frequency(a) > skills.Frequency(b);
+                   });
+  std::vector<double> weight_of_skill(skills.num_skills(), 0.0);
+  for (size_t r = 0; r < by_rank.size(); ++r) {
+    weight_of_skill[by_rank[r]] =
+        std::pow(static_cast<double>(r + 1), -options.zipf_exponent);
+  }
+
+  // Score holders by the Zipf mass of their skills: the probability a
+  // sampled task puts them in the request footprint.
+  std::vector<std::pair<double, NodeId>> scored;
+  for (uint32_t u = 0; u < skills.num_users(); ++u) {
+    double score = 0;
+    for (SkillId s : skills.SkillsOf(u)) score += weight_of_skill[s];
+    if (score > 0) scored.emplace_back(score, u);
+  }
+  report.holders_ranked = scored.size();
+  std::sort(scored.begin(), scored.end(),
+            [](const std::pair<double, NodeId>& a,
+               const std::pair<double, NodeId>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;  // deterministic tie-break
+            });
+
+  const size_t head = std::min(
+      scored.size(),
+      static_cast<size_t>(std::ceil(options.fraction *
+                                    static_cast<double>(scored.size()))));
+  std::vector<NodeId> sources;
+  sources.reserve(head);
+  for (size_t i = 0; i < head; ++i) sources.push_back(scored[i].second);
+
+  oracle->StreamRows(
+      sources, options.threads, [](size_t, const CompatRow&) {},
+      std::max<size_t>(1, options.batch));
+  report.rows_prewarmed = sources.size();
+  report.seconds = timer.Seconds();
+  return report;
+}
+
 std::vector<TeamRequest> GenerateRequests(const SkillAssignment& skills,
                                           const WorkloadOptions& options) {
   ZipfTaskSampler sampler(skills, options.zipf_exponent);

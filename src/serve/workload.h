@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/compat/compatibility.h"
 #include "src/serve/server.h"
 #include "src/serve/types.h"
 #include "src/skills/skills.h"
@@ -53,6 +54,50 @@ class ZipfTaskSampler {
   std::vector<SkillId> by_rank_;  // held skills, holder count descending
   ZipfSampler zipf_;
 };
+
+/// Tier-2 prewarm tuning (see PrewarmZipfHead).
+struct PrewarmOptions {
+  /// Fraction of distinct skill holders to prewarm, hottest first
+  /// (ceil(fraction * holders) rows). 0 disables the prewarm.
+  double fraction = 0;
+  /// Zipf exponent of the workload the ranking anticipates — pass the
+  /// same value as WorkloadOptions::zipf_exponent.
+  double zipf_exponent = 1.0;
+  /// Worker threads for the batched row computation (0 = hardware).
+  uint32_t threads = 0;
+  /// Sources per GetRows batch (bounds peak pinned memory; multiples of
+  /// 64 feed full blocks to the bit-parallel engine).
+  size_t batch = 256;
+};
+
+/// What a prewarm pass did.
+struct PrewarmReport {
+  /// Distinct holders of at least one skill (the ranking universe).
+  uint64_t holders_ranked = 0;
+  /// Rows actually streamed into the cache (the hot head).
+  uint64_t rows_prewarmed = 0;
+  double seconds = 0;
+};
+
+/// Tier 2 of the tiered row store: bulk-computes the rows a Zipf workload
+/// is about to ask for, before the server opens.
+///
+/// ZipfTaskSampler draws skill ranks ∝ (r+1)^-s over skills ordered by
+/// holder count, so a holder's chance of appearing in a task footprint is
+/// driven by the Zipf weight of the skills they hold. The prewarm scores
+/// every holder by Σ (rank(s)+1)^-s over their held skills — the same
+/// ranking, the same exponent — sorts descending (ties by id, fully
+/// deterministic), and streams the top `fraction` of holders through the
+/// oracle's batched API (64-way MS-BFS blocks for the batchable
+/// relations). Rows land in the oracle's RowCache, compressed and
+/// spillable per its tiers; an already-cached row costs one probe.
+///
+/// Call it on an oracle sharing the server's cache (same graph, kind, and
+/// params as the workers' oracles — key fingerprints must match) before
+/// accepting traffic.
+PrewarmReport PrewarmZipfHead(CompatibilityOracle* oracle,
+                              const SkillAssignment& skills,
+                              const PrewarmOptions& options);
 
 /// Workload shape shared by the generators and the CLI/bench front ends.
 struct WorkloadOptions {

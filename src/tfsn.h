@@ -20,7 +20,9 @@
 #include "src/compat/compat_graph.h"      // IWYU pragma: export
 #include "src/compat/compatibility.h"     // IWYU pragma: export
 #include "src/compat/row_cache.h"         // IWYU pragma: export
+#include "src/compat/row_codec.h"         // IWYU pragma: export
 #include "src/compat/row_kernels.h"       // IWYU pragma: export
+#include "src/compat/row_spill.h"         // IWYU pragma: export
 #include "src/compat/sbp.h"               // IWYU pragma: export
 #include "src/compat/signed_bfs.h"        // IWYU pragma: export
 #include "src/compat/skill_index.h"       // IWYU pragma: export

@@ -1,0 +1,45 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven, header-only.
+//
+// Used by the row spill store (src/compat/row_spill.h) to detect torn or
+// truncated records after a crash: every on-disk record carries the CRC of
+// its payload, and a record whose stored CRC does not match its bytes is
+// dropped at open (and the row recomputed) instead of being served corrupt.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace tfsn {
+
+namespace crc32_internal {
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace crc32_internal
+
+/// CRC-32 of `len` bytes at `data`. Pass a previous result as `seed` to
+/// continue a running checksum over split buffers.
+inline uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = crc32_internal::kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace tfsn

@@ -179,6 +179,117 @@ TEST(RowCacheTest, CrossThreadHitCounting) {
 }
 
 // ---------------------------------------------------------------------------
+// Tier 0 compression (see row_cache.h)
+// ---------------------------------------------------------------------------
+
+TEST(RowCacheTest, CompressedCacheKeepsIdentityWhilePinned) {
+  RowCacheOptions options;
+  options.compress = true;
+  options.shards = 1;
+  RowCache cache(options);
+  auto inserted = cache.Insert(1, TestRow(64, 1));
+  ASSERT_NE(inserted, nullptr);
+  // While the insert's pointer is live, Get memoizes it — no decode.
+  auto hit = cache.Get(1);
+  EXPECT_EQ(hit.get(), inserted.get());
+  EXPECT_EQ(cache.stats().decodes, 0u);
+
+  // Drop every pin: the next Get must decode the blob — bit-identical
+  // contents, a fresh allocation, and the decode counters move.
+  const CompatRow dense = TestRow(64, 1);
+  inserted.reset();
+  hit.reset();
+  auto decoded = cache.Get(1);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->comp, dense.comp);
+  EXPECT_EQ(decoded->dist, dense.dist);
+  const RowCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.decodes, 1u);
+  EXPECT_GT(stats.decode_ns, 0u);
+  // The resident form is the blob: the gauge is charged and far below
+  // the dense footprint.
+  EXPECT_GT(stats.compressed_bytes, 0u);
+  EXPECT_LT(stats.compressed_bytes, dense.ByteSize());
+  // Charged bytes = blob + a fixed per-entry overhead (well under 256).
+  EXPECT_GE(stats.bytes_in_use, stats.compressed_bytes);
+  EXPECT_LT(stats.bytes_in_use, stats.compressed_bytes + 256);
+}
+
+// The byte budget must govern what the cache actually holds resident —
+// the satellite regression: with compression on, charged bytes are blob
+// bytes (plus fixed entry overhead), and churn never overshoots the
+// budget by more than the single-protected-row allowance.
+TEST(RowCacheTest, CompressedByteBudgetHonoredUnderChurn) {
+  RowCacheOptions options;
+  options.compress = true;
+  options.shards = 4;
+  options.max_bytes = 64 * 1024;
+  RowCache cache(options);
+  Rng rng(131);
+  for (int i = 0; i < 400; ++i) {
+    // Ragged, incompressible-ish rows (random dist) of varying size.
+    const uint32_t n = 50 + static_cast<uint32_t>(rng.Next() % 400);
+    CompatRow row;
+    row.comp.resize(n);
+    row.dist.resize(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      row.comp[j] = static_cast<uint8_t>(rng.Next() % 2);
+      row.dist[j] = static_cast<uint32_t>(rng.Next() % 1000);
+    }
+    cache.Insert(static_cast<uint64_t>(i), std::move(row));
+    if (i % 3 == 0) cache.Get(static_cast<uint64_t>(rng.Next() % (i + 1)));
+    // Within 5% at every step: eviction runs to the budget, and the
+    // "never evict the newest row" allowance cannot exceed one row per
+    // shard.
+    EXPECT_LE(cache.stats().bytes_in_use,
+              static_cast<size_t>(options.max_bytes * 1.05))
+        << "insert " << i;
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(RowCacheTest, CompressedGaugeDrainsOnEvictionAndClear) {
+  RowCacheOptions options;
+  options.compress = true;
+  options.shards = 1;
+  options.max_rows = 2;
+  options.max_bytes = 0;
+  RowCache cache(options);
+  for (uint64_t key = 0; key < 6; ++key) {
+    cache.Insert(key, TestRow(128, 1));
+  }
+  const RowCacheStats mid = cache.stats();
+  EXPECT_EQ(mid.rows_in_use, 2u);
+  EXPECT_GT(mid.compressed_bytes, 0u);
+  // The gauge tracks exactly the resident blobs — eviction released the
+  // other four.
+  EXPECT_GE(mid.bytes_in_use, mid.compressed_bytes);
+  EXPECT_LT(mid.bytes_in_use, mid.compressed_bytes + 2 * 256);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().compressed_bytes, 0u);
+  EXPECT_EQ(cache.stats().bytes_in_use, 0u);
+}
+
+TEST(SharedCacheTest, OracleOverCompressedCacheMatchesFlat) {
+  Rng rng(137);
+  SignedGraph g = RandomConnectedGnm(36, 90, 0.3, &rng);
+  RowCacheOptions options;
+  options.compress = true;
+  auto cache = std::make_shared<RowCache>(options);
+  for (CompatKind kind : AllCompatKinds()) {
+    auto tiered = MakeOracle(g, kind, {}, cache);
+    auto flat = MakeOracle(g, kind, {});
+    for (NodeId q = 0; q < g.num_nodes(); q += 4) {
+      const auto& got = tiered->GetRow(q);
+      const auto& want = flat->GetRow(q);
+      EXPECT_EQ(got.comp, want.comp) << CompatKindName(kind) << " q=" << q;
+      EXPECT_EQ(got.dist, want.dist) << CompatKindName(kind) << " q=" << q;
+      EXPECT_EQ(got.saturated, want.saturated) << CompatKindName(kind);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Kernel vs façade equality — GetRow must be bit-identical to the kernels
 // for every relation (the façade adds caching, never different rows).
 // ---------------------------------------------------------------------------

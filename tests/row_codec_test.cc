@@ -1,0 +1,172 @@
+// Round-trip tests for the compressed row codec (row_codec.h): every
+// relation plus the threshold kernel on random graphs, ragged hand-built
+// rows, kUnreachable runs on fragmented graphs, the saturated flag, the
+// raw fallbacks, the measured compression ratio, and rejection of
+// malformed blobs.
+
+#include "src/compat/row_codec.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/compat/row_kernels.h"
+#include "src/compat/threshold.h"
+#include "src/gen/generators.h"
+#include "src/graph/bfs.h"
+#include "src/graph/graph_builder.h"
+#include "src/util/rng.h"
+
+namespace tfsn {
+namespace {
+
+void ExpectRoundTrip(const CompatRow& row, const char* what) {
+  const std::vector<uint8_t> blob = EncodeRow(row);
+  CompatRow decoded;
+  // Poison the output: DecodeRow must fully replace previous contents.
+  decoded.comp.assign(3, 99);
+  decoded.dist.assign(7, 99);
+  decoded.saturated = !row.saturated;
+  ASSERT_TRUE(DecodeRow(blob, &decoded)) << what;
+  EXPECT_EQ(decoded.comp, row.comp) << what;
+  EXPECT_EQ(decoded.dist, row.dist) << what;
+  EXPECT_EQ(decoded.saturated, row.saturated) << what;
+}
+
+TEST(RowCodecTest, RoundTripAllKindsOnRandomGraphs) {
+  Rng rng(101);
+  for (uint32_t n : {17u, 48u}) {
+    SignedGraph g = RandomConnectedGnm(n, n * 2 + 10, 0.3, &rng);
+    RowKernelParams params;
+    for (CompatKind kind : AllCompatKinds()) {
+      for (NodeId q = 0; q < g.num_nodes(); q += 3) {
+        CompatRow row = ComputeCompatRow(g, kind, params, q);
+        ExpectRoundTrip(row, CompatKindName(kind));
+      }
+    }
+  }
+}
+
+TEST(RowCodecTest, RoundTripThresholdRelation) {
+  Rng rng(103);
+  SignedGraph g = RandomConnectedGnm(30, 75, 0.35, &rng);
+  for (double theta : {0.0, 0.4, 1.0}) {
+    RowKernelParams params;
+    params.threshold_theta = theta;
+    for (NodeId q = 0; q < g.num_nodes(); q += 5) {
+      ExpectRoundTrip(ComputeThresholdRow(g, params, q), "threshold");
+    }
+  }
+}
+
+TEST(RowCodecTest, RoundTripUnreachableRunsOnFragmentedGraph) {
+  // Two components: BFS rows from the small one are almost all
+  // kUnreachable — the RLE path's home turf.
+  SignedGraphBuilder b(40);
+  for (NodeId u = 0; u + 1 < 5; ++u) {
+    b.AddEdge(u, u + 1, Sign::kPositive).CheckOK();
+  }
+  for (NodeId u = 5; u + 1 < 40; ++u) {
+    b.AddEdge(u, u + 1, u % 3 == 0 ? Sign::kNegative : Sign::kPositive)
+        .CheckOK();
+  }
+  SignedGraph g = std::move(b.Build()).ValueOrDie();
+  RowKernelParams params;
+  for (CompatKind kind : AllCompatKinds()) {
+    CompatRow row = ComputeCompatRow(g, kind, params, 2);
+    EXPECT_NE(std::count(row.dist.begin(), row.dist.end(), kUnreachable), 0)
+        << CompatKindName(kind);
+    ExpectRoundTrip(row, CompatKindName(kind));
+  }
+}
+
+TEST(RowCodecTest, RoundTripRaggedHandBuiltRows) {
+  Rng rng(107);
+  for (uint32_t n : {1u, 3u, 63u, 64u, 65u, 127u, 128u, 129u, 1000u}) {
+    CompatRow row;
+    row.comp.resize(n);
+    row.dist.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      row.comp[i] = static_cast<uint8_t>(rng.Next() % 2);
+      const uint64_t r = rng.Next() % 10;
+      row.dist[i] = r == 0 ? kUnreachable : static_cast<uint32_t>(r);
+    }
+    row.saturated = (n % 2) == 0;
+    ExpectRoundTrip(row, "ragged");
+  }
+}
+
+TEST(RowCodecTest, RoundTripEmptyAndSaturatedRows) {
+  CompatRow empty;
+  ExpectRoundTrip(empty, "empty");
+  CompatRow sat;
+  sat.comp.assign(10, 1);
+  sat.dist.assign(10, 2);
+  sat.saturated = true;
+  ExpectRoundTrip(sat, "saturated");
+}
+
+TEST(RowCodecTest, RawFallbacksKeepArbitraryRowsBitIdentical) {
+  // comp values outside {0,1} force the raw comp path (hand-built rows in
+  // the cache tests use these).
+  CompatRow weird;
+  weird.comp.assign(20, 7);
+  weird.dist.assign(20, 7);
+  ExpectRoundTrip(weird, "comp>1");
+
+  // Huge, distinct finite distances exceed the bit-pack lane limit and
+  // defeat RLE: the raw dist path must carry them exactly.
+  Rng rng(109);
+  CompatRow big;
+  big.comp.assign(50, 1);
+  big.dist.resize(50);
+  for (uint32_t i = 0; i < 50; ++i) {
+    big.dist[i] = static_cast<uint32_t>(rng.Next());
+  }
+  ExpectRoundTrip(big, "large-dist");
+}
+
+TEST(RowCodecTest, CompressesKernelRowsAtLeastFiveFold) {
+  Rng rng(113);
+  SignedGraph g = RandomConnectedGnm(400, 1200, 0.3, &rng);
+  RowKernelParams params;
+  size_t dense = 0;
+  size_t encoded = 0;
+  for (NodeId q = 0; q < g.num_nodes(); q += 13) {
+    CompatRow row = ComputeCompatRow(g, CompatKind::kSPM, params, q);
+    dense += DenseRowBytes(row);
+    encoded += EncodeRow(row).size();
+  }
+  ASSERT_GT(encoded, 0u);
+  EXPECT_GE(static_cast<double>(dense) / static_cast<double>(encoded), 5.0);
+}
+
+TEST(RowCodecTest, DecodeRejectsMalformedBlobs) {
+  CompatRow row;
+  row.comp.assign(32, 1);
+  row.dist.assign(32, 3);
+  const std::vector<uint8_t> blob = EncodeRow(row);
+  CompatRow out;
+
+  // Truncations at every prefix length must fail, never crash or succeed.
+  for (size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeRow(std::span<const uint8_t>(blob.data(), len), &out))
+        << "len=" << len;
+  }
+  // Trailing garbage is not a valid blob either.
+  std::vector<uint8_t> padded = blob;
+  padded.push_back(0);
+  EXPECT_FALSE(DecodeRow(padded, &out));
+  // Unknown codec versions are rejected outright.
+  std::vector<uint8_t> wrong_version = blob;
+  wrong_version[0] = kRowCodecVersion + 1;
+  EXPECT_FALSE(DecodeRow(wrong_version, &out));
+  // An impossible element count cannot allocate its way to success.
+  std::vector<uint8_t> huge = blob;
+  huge[4] = huge[5] = huge[6] = huge[7] = 0xFF;
+  EXPECT_FALSE(DecodeRow(huge, &out));
+}
+
+}  // namespace
+}  // namespace tfsn

@@ -10,11 +10,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <future>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "src/compat/row_spill.h"
 #include "src/compat/skill_index.h"
 #include "src/gen/generators.h"
 #include "src/serve/batcher.h"
@@ -397,6 +399,61 @@ TEST(TeamFormationServerTest, BatchedAndUnbatchedAgreeAndReplayIsStable) {
   // The unbatched server pays one batch (and one view) per request.
   EXPECT_EQ(unbatched_metrics.batches, requests.size());
   EXPECT_LE(batched_metrics.batches, unbatched_metrics.batches);
+}
+
+TEST(TeamFormationServerTest, TieredCacheServesBitIdenticalTeams) {
+  // A server over the full tiered store — compressed rows, a starvation
+  // row budget that forces churn through the disk spill, and a Zipf
+  // prewarm before traffic — must still return teams bit-identical to
+  // the flat direct path. Storage tiers change where a row lives, never
+  // what it says.
+  ServerHarness h;
+  const std::string spill_dir =
+      (std::filesystem::path(::testing::TempDir()) / "serve-tiered-spill")
+          .string();
+  std::filesystem::remove_all(spill_dir);
+  auto spill = std::make_shared<RowSpillStore>(spill_dir);
+  ASSERT_TRUE(spill->ok());
+  RowCacheOptions copts;
+  copts.compress = true;
+  copts.spill = spill;
+  copts.max_rows = 8;  // most rows must round-trip through disk
+  copts.shards = 2;
+  auto tiered = std::make_shared<RowCache>(copts);
+  auto oracle =
+      MakeOracle(h.inst.graph, CompatKind::kSPM, OracleParams{}, tiered);
+  Rng idx_rng(3);
+  SkillCompatibilityIndex index(oracle.get(), h.inst.skills, 0, &idx_rng);
+
+  PrewarmOptions popts;
+  popts.fraction = 0.5;
+  const PrewarmReport report =
+      PrewarmZipfHead(oracle.get(), h.inst.skills, popts);
+  EXPECT_GT(report.holders_ranked, 0u);
+  EXPECT_GT(report.rows_prewarmed, 0u);
+
+  const auto requests = HarnessRequests(h, 60);
+  TeamFormationServer server(h.inst.graph, h.inst.skills, &index,
+                             CompatKind::kSPM, tiered, h.Options(2, 8));
+  WorkloadResult run = RunClosedLoop(&server, requests, /*clients=*/4);
+  server.Shutdown();
+
+  ASSERT_EQ(run.completed, requests.size());
+  const std::vector<TeamResult> reference = DirectReference(
+      h.inst, CompatKind::kSPM, server.options().greedy, requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_EQ(run.responses[i].id, requests[i].id);
+    ExpectSameTeam(run.responses[i].result, reference[i],
+                   "tiered, request " + std::to_string(i));
+  }
+  // The tiers actually engaged: blobs were decoded on pin, evictions hit
+  // the spill store, and rows came back from it.
+  const ServerMetrics m = server.Metrics();
+  EXPECT_GT(m.cache.decodes, 0u);
+  EXPECT_GT(m.cache.spill_writes, 0u);
+  EXPECT_GT(m.cache.spill_reads, 0u);
+  EXPECT_GT(m.cache.compressed_bytes, 0u);
+  EXPECT_GT(spill->stats().records, 0u);
 }
 
 TEST(TeamFormationServerTest, RandomPolicyReplayDeterminism) {
