@@ -7,6 +7,8 @@
 //   tfsn_cli serve   --dataset=epinions --scale=0.08 --qps=50 --duration=5
 //                    [--workers=2] [--batch-cap=16] [--seed=1] [--replay]
 //                    [--compress=on] [--spill-dir=D] [--prewarm-frac=0.1]
+//                    [--deadline-ms=B] [--shed=off|admission|queue]
+//                    [--fault=point:schedule[,point:schedule...]]
 //   tfsn_cli export  --dataset=wikipedia --out=wiki.edges --skills_out=wiki.skills
 //
 // Global performance flags: --threads=N computes oracle rows (and the
@@ -23,7 +25,18 @@
 // (results are identical for every setting) and --eval-path=auto|view|
 // oracle to pin the evaluation path.
 //
-// Exit codes: 0 success, 1 usage error, 2 no team found.
+// Robustness knobs (see README "Robustness"): `serve --deadline-ms=B`
+// stamps every generated request with a B-millisecond SLO budget;
+// --shed picks the enforcement tier (off = deadlines are advisory,
+// admission = reject infeasible deadlines at the front door, queue =
+// admission + expired-in-queue shedding + the degradation ladder); and
+// --fault=point:schedule arms deterministic fault injection (requires a
+// -DTFSN_FAULTS=ON build; exits 2 otherwise). The --replay digest mixes
+// only successful, non-degraded responses, so it stays bit-identical
+// under injected faults and shed traffic.
+//
+// Exit codes: 0 success, 1 usage error, 2 no team found / fault
+// injection not compiled in.
 
 #include <algorithm>
 #include <cstdio>
@@ -32,6 +45,7 @@
 #include "src/exp/experiments.h"
 #include "src/skills/skills_io.h"
 #include "src/tfsn.h"
+#include "src/util/fault_injection.h"
 
 namespace {
 
@@ -69,6 +83,11 @@ int Usage() {
                "                             reproduce bit for bit\n"
                "       [--prewarm-frac=F]    prewarm the hottest F of\n"
                "                             holders before traffic\n"
+               "       [--deadline-ms=B]     per-request SLO budget (0 = none)\n"
+               "       [--shed=queue]        off|admission|queue enforcement\n"
+               "       [--fault=P:S]         arm fault point P with schedule S\n"
+               "                             (off|always|nth:K|every:K|p:P[:S];\n"
+               "                             needs -DTFSN_FAULTS=ON)\n"
                "  export --out=F             write graph [--skills_out=G]\n"
                "global: --threads=N row-computation workers (0 = auto)\n"
                "        --cache-mb=M shared row-cache budget (default 256)\n"
@@ -262,6 +281,59 @@ int CmdServe(const Flags& flags) {
   // batch's StreamRows prewarm (0 = hardware concurrency / TFSN_THREADS).
   options.view_build_threads = threads;
 
+  // Overload-control knobs. --shed picks how far enforcement goes;
+  // --deadline-ms stamps the SLO budget onto every generated request.
+  const std::string shed = flags.GetString("shed", "queue");
+  if (shed == "off") {
+    options.deadline.shed = serve::ShedMode::kOff;
+  } else if (shed == "admission") {
+    options.deadline.shed = serve::ShedMode::kAdmission;
+  } else if (shed == "queue") {
+    options.deadline.shed = serve::ShedMode::kQueue;
+  } else {
+    std::fprintf(stderr, "--shed takes off|admission|queue, got '%s'\n",
+                 shed.c_str());
+    return 1;
+  }
+  const double deadline_ms = flags.GetDouble("deadline_ms", 0.0);
+  if (deadline_ms < 0) {
+    std::fprintf(stderr, "--deadline-ms must be >= 0\n");
+    return 1;
+  }
+
+  // Deterministic fault injection: every --fault=point:schedule pair arms
+  // one registered point (the schedule grammar is ParseSchedule's). The
+  // registry exists in every build, but the TFSN_FAULT_POINT call sites
+  // only evaluate it when the library was compiled with -DTFSN_FAULTS=ON —
+  // arming points in a normal build would silently test nothing, so that
+  // is a hard error.
+  std::vector<std::string> armed_points;
+  if (flags.Has("fault")) {
+    if (!kFaultsEnabled) {
+      std::fprintf(stderr,
+                   "--fault requires a -DTFSN_FAULTS=ON build; this binary "
+                   "compiled the fault points out\n");
+      return 2;
+    }
+    for (const std::string& spec : SplitCsv(flags.GetString("fault"))) {
+      const size_t colon = spec.find(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 >= spec.size()) {
+        std::fprintf(stderr, "--fault takes point:schedule, got '%s'\n",
+                     spec.c_str());
+        return 1;
+      }
+      const std::string point = spec.substr(0, colon);
+      FaultSchedule schedule;
+      if (!FaultRegistry::ParseSchedule(spec.substr(colon + 1), &schedule)) {
+        std::fprintf(stderr, "--fault: bad schedule in '%s'\n", spec.c_str());
+        return 1;
+      }
+      FaultRegistry::Instance().Arm(point, schedule);
+      armed_points.push_back(point);
+    }
+  }
+
   const double qps = flags.GetDouble("qps", 50.0);
   const double duration = flags.GetDouble("duration", 5.0);
   const bool replay = flags.GetBool("replay");
@@ -286,6 +358,11 @@ int CmdServe(const Flags& flags) {
   options.queue_capacity = replay ? wl.num_requests + 1 : 1024;
   std::vector<serve::TeamRequest> requests =
       serve::GenerateRequests(ds.skills, wl);
+  if (deadline_ms > 0) {
+    for (serve::TeamRequest& req : requests) {
+      req.deadline_us = static_cast<uint64_t>(deadline_ms * 1000.0);
+    }
+  }
 
   // Tier-2 prewarm: bulk-compute the Zipf-hot holders' rows into the
   // shared cache before the server opens (the index oracle shares the
@@ -326,6 +403,14 @@ int CmdServe(const Flags& flags) {
               static_cast<unsigned long long>(run.completed),
               static_cast<unsigned long long>(run.dropped), run.seconds,
               run.seconds > 0 ? run.completed / run.seconds : 0.0);
+  if (deadline_ms > 0 || run.rejected + run.shed + run.degraded > 0) {
+    std::printf("overload  : %llu rejected, %llu shed, %llu degraded, "
+                "%llu unavailable\n",
+                static_cast<unsigned long long>(run.rejected),
+                static_cast<unsigned long long>(run.shed),
+                static_cast<unsigned long long>(run.degraded),
+                static_cast<unsigned long long>(run.unavailable));
+  }
   std::printf("latency   : p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n",
               metrics.total_us.ValueAtQuantile(0.50) / 1000.0,
               metrics.total_us.ValueAtQuantile(0.95) / 1000.0,
@@ -347,16 +432,27 @@ int CmdServe(const Flags& flags) {
   }
   uint64_t solved = 0;
   for (const serve::TeamResponse& resp : run.responses) {
-    solved += resp.result.found;
+    solved += resp.status.ok() && resp.result.found;
   }
   std::printf("solved    : %llu/%llu\n",
               static_cast<unsigned long long>(solved),
               static_cast<unsigned long long>(run.completed));
+  for (const std::string& point : armed_points) {
+    std::printf("fault     : %-28s fired %llu/%llu evaluations\n",
+                point.c_str(),
+                static_cast<unsigned long long>(
+                    FaultRegistry::Instance().FireCount(point)),
+                static_cast<unsigned long long>(
+                    FaultRegistry::Instance().HitCount(point)));
+  }
   if (replay) {
     // FNV-1a over (id, members, cost) in id order: bit-identical teams
-    // <=> equal digests.
+    // <=> equal digests. Only successful, non-degraded responses are
+    // mixed, so the digest is invariant under injected faults (which may
+    // only cost recomputation) and comparable across shed configurations.
     Fnv1a digest;
     for (const serve::TeamResponse& resp : run.responses) {
+      if (!resp.status.ok() || resp.degraded) continue;
       digest.Mix(resp.id);
       digest.Mix(resp.result.found ? resp.result.cost : ~0ull);
       for (NodeId member : resp.result.members) digest.Mix(member);

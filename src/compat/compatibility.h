@@ -113,6 +113,15 @@ class CompatibilityOracle {
   /// the caller holds it, immune to cache eviction.
   std::shared_ptr<const Row> GetRowShared(NodeId q);
 
+  /// Cache-resident probe: the row if it sits in the cache's memory tier,
+  /// nullptr otherwise — never computes a row and never touches the spill
+  /// tier, so the cost is bounded by one decode. Unlike GetRow this does
+  /// not pin and is safe from any thread; the degraded serving tier
+  /// (TaskCompatView::BuildFromCachedRows) is built on it.
+  std::shared_ptr<const Row> PeekRow(NodeId q) const {
+    return cache_->Peek(KeyFor(q));
+  }
+
   /// Batched multi-source fetch: probes the cache for every source, then
   /// computes the misses (each exactly once, duplicates deduplicated) and
   /// publishes them to the shared cache. For SPA/SPO/DPE/NNE with the

@@ -6,6 +6,7 @@
 
 #include "src/compat/row_codec.h"
 #include "src/compat/row_spill.h"
+#include "src/util/fault_injection.h"
 
 namespace tfsn {
 
@@ -100,7 +101,9 @@ std::shared_ptr<const CompatRow> RowCache::Get(uint64_t key,
   lock.Unlock();
   std::vector<uint8_t> blob;
   std::shared_ptr<const CompatRow> promoted;
-  if (spill->Read(key, &blob)) {
+  // Injected promotion failure degrades the spill hit to a miss — the
+  // caller recomputes the row, which is bit-identical by construction.
+  if (!TFSN_FAULT_POINT("row_cache.promote_fail") && spill->Read(key, &blob)) {
     const uint64_t t0 = NowNs();
     auto decoded = std::make_shared<CompatRow>();
     if (DecodeRow(blob, decoded.get())) {
@@ -146,12 +149,26 @@ std::shared_ptr<const CompatRow> RowCache::Get(uint64_t key,
   return promoted;
 }
 
+std::shared_ptr<const CompatRow> RowCache::Peek(uint64_t key) {
+  Shard& shard = ShardFor(key);
+  MutexLock lock(&shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return PinEntryLocked(&shard, &*it->second);
+}
+
 std::shared_ptr<const CompatRow> RowCache::Insert(uint64_t key,
                                                  CompatRow row) {
   // Drop excess capacity (moves can leave capacity() > size()) so the
   // byte budget charges what the cached row actually occupies.
   row.ShrinkToFit();
   auto holder = std::make_shared<const CompatRow>(std::move(row));
+
+  // Injected insert drop: the caller still gets its row, the cache just
+  // fails to retain it — the next Get misses and recomputes (memory-
+  // pressure shape: a row computed but never cached).
+  if (TFSN_FAULT_POINT("row_cache.insert_drop")) return holder;
 
   Entry entry;
   entry.key = key;

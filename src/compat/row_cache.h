@@ -158,6 +158,13 @@ class RowCache {
   /// the hit/miss counters keep one entry per logical lookup.
   std::shared_ptr<const CompatRow> Get(uint64_t key, bool count_miss = true);
 
+  /// Tier-0-only probe: the resident row (decoded on demand) or nullptr,
+  /// never consulting the spill tier and never computing anything — the
+  /// serving layer's degraded cache-only path is built on this. Refreshes
+  /// LRU recency like Get but records no hit/miss (the hit rate keeps
+  /// meaning "fraction of real lookups served").
+  std::shared_ptr<const CompatRow> Peek(uint64_t key);
+
   /// Inserts `row` under `key` and returns it; if another thread inserted
   /// `key` first, the existing row is returned instead and `row` is
   /// dropped. Runs LRU eviction afterwards (the newest row is never the

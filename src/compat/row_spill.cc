@@ -12,6 +12,7 @@
 #include <filesystem>
 
 #include "src/util/crc32.h"
+#include "src/util/fault_injection.h"
 
 namespace tfsn {
 
@@ -123,7 +124,8 @@ bool RowSpillStore::OpenSegmentLocked(uint32_t key_hi, bool scan) {
         ++stats_.corrupt_dropped;
         break;
       }
-      if (Crc32(payload.data(), payload.size()) == header.crc) {
+      if (!TFSN_FAULT_POINT("row_spill.scan_corrupt") &&
+          Crc32(payload.data(), payload.size()) == header.crc) {
         // Later records supersede earlier ones for the same key.
         auto [it, inserted] =
             index_.try_emplace(header.key,
@@ -169,6 +171,9 @@ RowSpillStore::Segment* RowSpillStore::SegmentForLocked(uint32_t key_hi,
 
 bool RowSpillStore::EnsureMappedLocked(Segment* seg, uint64_t end) {
   if (end <= seg->map_len) return true;
+  // Injected mmap failure: the read degrades to a miss (recompute); the
+  // segment keeps its previous mapping, if any, for records it covers.
+  if (TFSN_FAULT_POINT("row_spill.mmap_fail")) return false;
   if (seg->map != nullptr) {
     ::munmap(seg->map, seg->map_len);
     seg->map = nullptr;
@@ -199,6 +204,23 @@ bool RowSpillStore::Append(uint64_t key, std::span<const uint8_t> payload) {
                                   /*create=*/true);
   if (seg == nullptr) return false;
   const uint64_t offset = seg->size;
+  // Injected ENOSPC: fail before any byte lands (the previous record for
+  // the key, if any, stays served — exactly the contract of a real
+  // pwrite ENOSPC).
+  if (TFSN_FAULT_POINT("row_spill.append_enospc")) return false;
+  // Injected short write: persist only half the record, advance the
+  // append position over the torn bytes, and report failure — the shape
+  // a crash mid-append leaves on disk. The torn record is never indexed;
+  // the reopen scan truncates the stream at the tear.
+  if (TFSN_FAULT_POINT("row_spill.append_short_write")) {
+    const size_t half = record.size() / 2;
+    if (::pwrite(seg->fd, record.data(), half,
+                 static_cast<off_t>(offset)) == static_cast<ssize_t>(half)) {
+      seg->size += half;
+      stats_.file_bytes += half;
+    }
+    return false;
+  }
   if (::pwrite(seg->fd, record.data(), record.size(),
                static_cast<off_t>(offset)) !=
       static_cast<ssize_t>(record.size())) {
@@ -232,6 +254,12 @@ bool RowSpillStore::Read(uint64_t key, std::vector<uint8_t>* payload) {
   ParseHeader(seg->map + loc.offset, &header);
   payload->assign(seg->map + loc.offset + kRecordHeaderBytes,
                   seg->map + end);
+  // Injected bit rot: flip one payload bit after the copy so the CRC
+  // check below catches it — the record degrades to a miss and is
+  // deindexed, exercising the torn-after-indexing path.
+  if (TFSN_FAULT_POINT("row_spill.read_crc_flip") && !payload->empty()) {
+    (*payload)[0] ^= 0x01;
+  }
   if (header.magic != kRecordMagic || header.len != loc.len ||
       Crc32(payload->data(), payload->size()) != header.crc) {
     // Torn after indexing: degrade to a miss and stop serving the record.

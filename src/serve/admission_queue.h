@@ -9,12 +9,15 @@
 // shutdown semantics easy to get right:
 //
 //   * Bounded: Push blocks while the queue is full (backpressure into the
-//     caller), TryPush refuses instead — the open-loop workload generator
-//     uses TryPush so a saturated server drops rather than stalls arrivals.
-//   * Close(): producers fail fast (Push/TryPush return false), consumers
-//     drain every item already admitted, then Pop returns false. Nothing
-//     admitted is ever lost — the server relies on this to fulfill every
-//     promise on shutdown.
+//     caller), TryPush refuses with ResourceExhausted instead — the
+//     open-loop workload generator uses TryPush so a saturated server
+//     drops rather than stalls arrivals. Refusals are typed tfsn::Status
+//     values (queue-full vs shutting-down), so callers can tell
+//     backpressure apart from shutdown and attach retry-after hints.
+//   * Close(): producers fail fast (Push/TryPush return Unavailable),
+//     consumers drain every item already admitted, then Pop returns
+//     false. Nothing admitted is ever lost — the server relies on this to
+//     fulfill every promise on shutdown.
 //   * FIFO: items pop in push order (per the total order of push
 //     completions under the lock).
 //
@@ -32,6 +35,7 @@
 #include <vector>
 
 #include "src/util/mutex.h"
+#include "src/util/status.h"
 #include "src/util/thread_annotations.h"
 
 namespace tfsn::serve {
@@ -53,28 +57,31 @@ class AdmissionQueue {
   AdmissionQueue(const AdmissionQueue&) = delete;
   AdmissionQueue& operator=(const AdmissionQueue&) = delete;
 
-  /// Blocks while the queue is full; returns false (item dropped) iff the
-  /// queue was closed before space opened up.
-  bool Push(T item) TFSN_EXCLUDES(mu_) {
+  /// Blocks while the queue is full; fails (item dropped) with
+  /// Unavailable iff the queue was closed before space opened up.
+  Status Push(T item) TFSN_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     while (!closed_ && items_.size() >= capacity_) not_full_.Wait(&mu_);
-    if (closed_) return false;
+    if (closed_) return Status::Unavailable("admission queue closed");
     items_.push_back(std::move(item));
     lock.Unlock();
     not_empty_.NotifyOne();
-    return true;
+    return Status::OK();
   }
 
-  /// Non-blocking admission: on success moves from *item and returns true;
-  /// when full or closed returns false and leaves *item untouched.
-  bool TryPush(T* item) TFSN_EXCLUDES(mu_) {
+  /// Non-blocking admission: on success moves from *item; when full
+  /// (ResourceExhausted) or closed (Unavailable) leaves *item untouched.
+  Status TryPush(T* item) TFSN_EXCLUDES(mu_) {
     {
       MutexLock lock(&mu_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_) return Status::Unavailable("admission queue closed");
+      if (items_.size() >= capacity_) {
+        return Status::ResourceExhausted("admission queue full");
+      }
       items_.push_back(std::move(*item));
     }
     not_empty_.NotifyOne();
-    return true;
+    return Status::OK();
   }
 
   /// Blocks while the queue is empty; returns false iff the queue is

@@ -1,10 +1,13 @@
 #include "src/serve/batcher.h"
 
 #include <algorithm>
+#include <chrono>
 #include <iterator>
 #include <span>
+#include <utility>
 
 #include "src/team/task_view.h"
+#include "src/util/status.h"
 
 namespace tfsn::serve {
 
@@ -50,8 +53,8 @@ std::vector<SkillId> UnionSkills(const std::vector<SkillId>& a,
 }  // namespace
 
 BatchScheduler::BatchScheduler(const SkillAssignment& skills, bool sbph,
-                               BatchPolicy policy)
-    : skills_(skills), sbph_(sbph), policy_(policy) {}
+                               BatchPolicy policy, DeadlinePolicy deadline)
+    : skills_(skills), sbph_(sbph), policy_(policy), deadline_(deadline) {}
 
 BatchScheduler::Pending BatchScheduler::Prepared(ScheduledRequest item) const {
   Pending p;
@@ -65,8 +68,28 @@ size_t BatchScheduler::pending() const {
   return pending_.size();
 }
 
+void BatchScheduler::TakePending(std::vector<ScheduledRequest>* out) {
+  MutexLock lock(&mu_);
+  for (Pending& p : pending_) out->push_back(std::move(p.item));
+  pending_.clear();
+}
+
 bool BatchScheduler::NextBatch(AdmissionQueue<ScheduledRequest>* queue,
                                RequestBatch* out) {
+  // Requests whose deadline expired in the window. Collected under mu_,
+  // fulfilled only after unlocking (set_value wakes waiting callers — no
+  // reason to do that while holding the scheduler).
+  std::vector<ScheduledRequest> expired;
+  auto flush_expired = [this, &expired] {  // call with mu_ NOT held
+    if (expired.empty()) return;
+    shed_.fetch_add(expired.size(), std::memory_order_relaxed);
+    for (ScheduledRequest& sr : expired) {
+      FulfillError(&sr,
+                   Status::DeadlineExceeded("deadline expired in queue"));
+    }
+    expired.clear();
+  };
+
   MutexLock lock(&mu_);
   for (;;) {
     // Top up the grouping window with whatever is immediately available.
@@ -91,6 +114,20 @@ bool BatchScheduler::NextBatch(AdmissionQueue<ScheduledRequest>* queue,
       lock.Lock();
       for (Pending& p : prepared) pending_.push_back(std::move(p));
     }
+    // Shed anything already past its deadline: serving it would waste a
+    // view-build slot on an answer the caller has given up on. The
+    // promise is still fulfilled (typed DeadlineExceeded), never dropped.
+    if (deadline_.shed >= ShedMode::kQueue) {
+      const auto now = std::chrono::steady_clock::now();
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->item.deadline <= now) {
+          expired.push_back(std::move(it->item));
+          it = pending_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
     if (!pending_.empty()) break;
     // Nothing pending here: sleep until an arrival, shutdown, or a
     // sibling worker parks rejected requests in the pending window
@@ -100,6 +137,7 @@ bool BatchScheduler::NextBatch(AdmissionQueue<ScheduledRequest>* queue,
     // predicate check or by its Kick.
     leftovers_.store(false, std::memory_order_release);
     lock.Unlock();
+    flush_expired();
     ScheduledRequest item;
     const PopStatus status = queue->PopOr(&item, [this] {
       return leftovers_.load(std::memory_order_acquire);
@@ -118,11 +156,21 @@ bool BatchScheduler::NextBatch(AdmissionQueue<ScheduledRequest>* queue,
     break;
   }
 
-  // Seed with the oldest pending request (FIFO anchor), then greedily
-  // absorb later arrivals with overlapping holder footprints.
+  // Seed with the earliest-deadline pending request (EDF; the admission
+  // sequence breaks ties, so deadline-free traffic — deadline == +inf —
+  // keeps the oldest-first FIFO anchor), then greedily absorb later
+  // arrivals with overlapping holder footprints.
   out->items.clear();
-  Pending seed = std::move(pending_.front());
-  pending_.pop_front();
+  auto seed_it = pending_.begin();
+  for (auto it = std::next(pending_.begin()); it != pending_.end(); ++it) {
+    if (it->item.deadline < seed_it->item.deadline ||
+        (it->item.deadline == seed_it->item.deadline &&
+         it->item.seq < seed_it->item.seq)) {
+      seed_it = it;
+    }
+  }
+  Pending seed = std::move(*seed_it);
+  pending_.erase(seed_it);
   std::vector<SkillId> union_skills(seed.item.request.task.skills().begin(),
                                     seed.item.request.task.skills().end());
   std::vector<NodeId> universe = std::move(seed.universe);
@@ -162,12 +210,21 @@ bool BatchScheduler::NextBatch(AdmissionQueue<ScheduledRequest>* queue,
 
   out->union_task = Task(std::move(union_skills));
   out->universe = std::move(universe);
+  // Members serve earliest-deadline-first within the batch (seq ties
+  // keep FIFO), so the most urgent request pays the least service wait.
+  std::sort(out->items.begin(), out->items.end(),
+            [](const ScheduledRequest& a, const ScheduledRequest& b) {
+              if (a.deadline != b.deadline) return a.deadline < b.deadline;
+              return a.seq < b.seq;
+            });
   // Anything this pass rejected stays pending; wake a sleeping sibling
   // to pick it up rather than letting it wait out our batch.
   if (!pending_.empty()) {
     leftovers_.store(true, std::memory_order_release);
     queue->Kick();
   }
+  lock.Unlock();
+  flush_expired();
   return true;
 }
 

@@ -9,10 +9,12 @@
 // queued requests by footprint overlap without letting the union view
 // outgrow its byte budget.
 //
-// Grouping is greedy and FIFO-anchored: the oldest pending request seeds
-// the batch (bounding starvation — every request is served no later than
-// scan_window batch decisions after reaching the pending window), then
-// later arrivals join while
+// Grouping is greedy and deadline-anchored: the pending request with the
+// earliest deadline seeds the batch (earliest-deadline-first; admission
+// sequence breaks ties, so deadline-free traffic — whose deadline is
+// +infinity — keeps the FIFO anchor that bounds starvation: every request
+// is served no later than scan_window batch decisions after reaching the
+// pending window), then later arrivals join while
 //   * the Jaccard similarity |A ∩ U| / |A ∪ U| between their holder
 //     universe A and the batch's accumulated union U stays above
 //     min_jaccard (duplicates and subsets always pass),
@@ -24,7 +26,15 @@
 // batch; admission order among pending requests is preserved per drain
 // (concurrent workers draining simultaneously may interleave, so the
 // window is only approximately FIFO across workers — results never
-// depend on it).
+// depend on it). Batch members are handed to the worker sorted
+// earliest-deadline-first.
+//
+// Overload shedding (DeadlinePolicy::shed == ShedMode::kQueue): each
+// NextBatch pass sheds pending requests whose deadline already expired —
+// their promises are fulfilled with a DeadlineExceeded response (never
+// dropped) and counted in shed_count(). This is what makes the PR 5
+// pathology (seconds of queueing) impossible with a deadline set: an
+// expired request costs one promise fulfillment, not a view build.
 //
 // NextBatch is safe to call from all workers concurrently; one mutex
 // serializes the grouping decision (microseconds against the milliseconds
@@ -76,8 +86,10 @@ struct RequestBatch {
 class BatchScheduler {
  public:
   /// `skills` must outlive the scheduler. `sbph` selects the doubled
-  /// bit-matrix term in the view byte estimate.
-  BatchScheduler(const SkillAssignment& skills, bool sbph, BatchPolicy policy);
+  /// bit-matrix term in the view byte estimate. `deadline` governs
+  /// in-queue expiry shedding (only ShedMode::kQueue sheds here).
+  BatchScheduler(const SkillAssignment& skills, bool sbph, BatchPolicy policy,
+                 DeadlinePolicy deadline = {});
 
   /// Forms the next batch from `queue`, blocking while neither pending
   /// requests nor queued ones exist. Returns false when the queue is
@@ -87,6 +99,18 @@ class BatchScheduler {
 
   /// Requests currently parked in the grouping window.
   size_t pending() const TFSN_EXCLUDES(mu_);
+
+  /// Moves every request still parked in the grouping window into *out
+  /// (appending). Shutdown safety net: after the workers exit, the server
+  /// fulfills these with a typed Unavailable response so no admitted
+  /// promise is ever abandoned — even if a worker died mid-fault with
+  /// requests parked here.
+  void TakePending(std::vector<ScheduledRequest>* out) TFSN_EXCLUDES(mu_);
+
+  /// Requests shed in queue (deadline expired before service) so far.
+  uint64_t shed_count() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
 
   const BatchPolicy& policy() const { return policy_; }
 
@@ -104,6 +128,10 @@ class BatchScheduler {
   const SkillAssignment& skills_;
   const bool sbph_;
   const BatchPolicy policy_;
+  const DeadlinePolicy deadline_;
+  /// Monotonic tally of in-queue expiry sheds (relaxed: a plain event
+  /// counter, no data published through it).
+  std::atomic<uint64_t> shed_{0};
   mutable Mutex mu_;
   std::deque<Pending> pending_ TFSN_GUARDED_BY(mu_);
   /// True while requests sit in pending_ — the PopOr wakeup predicate of

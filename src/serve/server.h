@@ -2,22 +2,45 @@
 // "a team is returned".
 //
 //                 Submit / TrySubmit
+//            (typed admission: queue-full / shutting-down /
+//             deadline-infeasible, with retry-after hints)
 //                        │
 //             AdmissionQueue (bounded, backpressure)
 //                        │
 //               BatchScheduler.NextBatch
-//          (skill-footprint Jaccard grouping)
+//          (skill-footprint Jaccard grouping, EDF-anchored;
+//           sheds requests whose deadline expired in queue)
 //                        │
 //        worker pool — per batch, each worker:
-//          1. builds ONE TaskCompatView for the batch's union task
+//          1. sheds/degrades deadline-pressed members (see below),
+//          2. builds ONE TaskCompatView for the batch's union task
 //             (one StreamRows prewarm of the union holder universe),
-//          2. runs GreedyTeamFormer::FormWithView per member request,
-//          3. fulfills the promises and records latency.
+//          3. runs GreedyTeamFormer::FormWithView per member request,
+//          4. fulfills the promises and records latency.
 //
-// Teams are bit-identical to calling GreedyTeamFormer::Form directly with
-// the same GreedyParams and per-request Rng(rng_seed) — batching changes
-// only where the work happens, never the answer — so results are
-// reproducible across worker counts, batch caps, and arrival orders.
+// Teams served through the full path are bit-identical to calling
+// GreedyTeamFormer::Form directly with the same GreedyParams and
+// per-request Rng(rng_seed) — batching changes only where the work
+// happens, never the answer — so results are reproducible across worker
+// counts, batch caps, and arrival orders.
+//
+// Overload control (ServerOptions::deadline): requests may carry an SLO
+// budget (TeamRequest::deadline_us). Under ShedMode::kQueue the server
+// keeps accepted-request latency inside that budget by shedding — typed
+// DeadlineExceeded responses, never dropped promises — at three points:
+// admission (infeasible deadlines, judged against the live queue-latency
+// histogram), the scheduler (expired in queue), and the worker (expired
+// by service time). A member whose remaining budget cannot fund the full
+// view build degrades instead of missing its deadline:
+//
+//   full dense view  →  cache-only view  →  oracle path  →  reject
+//        (exact)       (degraded unless      (exact)      (DeadlineExceeded)
+//                       every row cached)
+//
+// Degraded responses carry TeamResponse::degraded = true and are the only
+// ones that may differ from the exact answer; they are sound (every
+// member pair confirmed by a real cached row) but excluded from replay
+// digests.
 //
 // Each worker owns its own CompatibilityOracle over the one shared
 // RowCache (the oracle's scalar row pinning is not thread-safe; the cache
@@ -33,6 +56,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -52,6 +76,7 @@
 #include "src/skills/skills.h"
 #include "src/team/greedy.h"
 #include "src/util/latency_histogram.h"
+#include "src/util/status.h"
 
 namespace tfsn::serve {
 
@@ -62,6 +87,9 @@ struct ServerOptions {
   size_t queue_capacity = 1024;
   /// Batching policy; max_batch = 1 is the one-task-per-view baseline.
   BatchPolicy batch;
+  /// Deadline/overload policy (see types.h). Only requests that carry a
+  /// deadline are ever affected, whatever the mode.
+  DeadlinePolicy deadline;
   /// Greedy configuration every worker's former runs with. seed_threads
   /// is forced to 1 — the worker pool is the parallelism; nested seed
   /// threads would oversubscribe (results are identical either way).
@@ -70,7 +98,9 @@ struct ServerOptions {
   uint32_t view_build_threads = 1;
 };
 
-/// Point-in-time roll-up across workers. Histograms record microseconds.
+/// Point-in-time roll-up across workers. Histograms record microseconds
+/// and cover served responses (exact or degraded) — shed requests appear
+/// in `shed`, not in the latency distributions.
 struct ServerMetrics {
   uint64_t completed = 0;
   uint64_t batches = 0;
@@ -79,6 +109,11 @@ struct ServerMetrics {
   /// representation).
   uint64_t shared_view_batches = 0;
   uint64_t fallback_batches = 0;
+  /// Requests fulfilled with DeadlineExceeded (expired in queue or at the
+  /// worker, or unfundable by any tier).
+  uint64_t shed = 0;
+  /// Requests served from an incomplete cache-only view (degraded=true).
+  uint64_t degraded = 0;
   LatencyHistogram queue_us;
   LatencyHistogram service_us;
   LatencyHistogram total_us;
@@ -110,16 +145,24 @@ class TeamFormationServer {
   TeamFormationServer& operator=(const TeamFormationServer&) = delete;
 
   /// Admits a request, blocking while the queue is full (backpressure).
-  /// On success *response holds the future the worker fulfills. False
-  /// after Shutdown().
-  bool Submit(TeamRequest request, std::future<TeamResponse>* response);
+  /// On OK *response holds the future the worker fulfills. Fails with
+  /// Unavailable after Shutdown(), or DeadlineExceeded when the request's
+  /// deadline is infeasible against the live queue-latency estimate
+  /// (ShedMode::kAdmission and up; the message carries a retry-after
+  /// hint). On failure *response is untouched.
+  Status Submit(TeamRequest request, std::future<TeamResponse>* response);
 
-  /// Non-blocking admission: false when the queue is full or the server
-  /// is shut down (the open-loop generator counts those as drops).
-  bool TrySubmit(TeamRequest request, std::future<TeamResponse>* response);
+  /// Non-blocking admission: additionally fails with ResourceExhausted
+  /// (plus a retry-after hint derived from the live queue-latency
+  /// histogram) when the queue is full — the open-loop generator counts
+  /// those as drops.
+  Status TrySubmit(TeamRequest request, std::future<TeamResponse>* response);
 
-  /// Stops admission, drains every queued request (all futures complete),
-  /// and joins the workers. Idempotent; also run by the destructor.
+  /// Stops admission, drains every queued request, and joins the workers.
+  /// Every admitted promise is fulfilled — served normally during the
+  /// drain, or with a typed Unavailable response if a worker died
+  /// mid-fault — so no future ever blocks forever. Idempotent; also run
+  /// by the destructor.
   void Shutdown();
 
   /// Merged per-worker metrics plus a row-cache counter snapshot. Callable
@@ -143,6 +186,8 @@ class TeamFormationServer {
     uint64_t batches TFSN_GUARDED_BY(mu) = 0;
     uint64_t shared_view_batches TFSN_GUARDED_BY(mu) = 0;
     uint64_t fallback_batches TFSN_GUARDED_BY(mu) = 0;
+    uint64_t shed TFSN_GUARDED_BY(mu) = 0;
+    uint64_t degraded TFSN_GUARDED_BY(mu) = 0;
     LatencyHistogram queue_us TFSN_GUARDED_BY(mu);
     LatencyHistogram service_us TFSN_GUARDED_BY(mu);
     LatencyHistogram total_us TFSN_GUARDED_BY(mu);
@@ -150,6 +195,30 @@ class TeamFormationServer {
   };
 
   void WorkerLoop(Worker* worker);
+  /// Serves one deadline-pressed request through the degradation ladder
+  /// (cache-only view → oracle path → DeadlineExceeded).
+  void ServeDegraded(Worker* worker, ScheduledRequest* sr,
+                     uint32_t batch_size);
+  /// Records a served response into the worker's metrics and the shared
+  /// queue-latency histogram, then fulfills the promise.
+  void FinishServed(Worker* worker, ScheduledRequest* sr, TeamResponse resp);
+
+  /// Stamps admission metadata (timestamp, absolute deadline, EDF seq).
+  ScheduledRequest MakeScheduled(TeamRequest request);
+  /// DeadlineExceeded when the request cannot meet its deadline even if
+  /// admitted now (ShedMode::kAdmission and up); OK otherwise.
+  Status AdmitCheck(const TeamRequest& request) const;
+
+  /// Live estimators (µs), each overridable via DeadlinePolicy for
+  /// deterministic tests: median queue wait from the shared histogram,
+  /// and EWMA view-build / per-request service costs from the workers.
+  uint64_t QueueWaitEstimateUs() const TFSN_EXCLUDES(lat_mu_);
+  uint64_t BuildEstimateUs() const;
+  uint64_t ServiceEstimateUs() const;
+  /// EWMA cost of a degraded-ladder serve; gates entry to the ladder so
+  /// even the cheapest tier never knowingly answers past the deadline.
+  uint64_t DegradedEstimateUs() const;
+  uint64_t RetryAfterMs() const;
 
   const SkillAssignment& skills_;
   ServerOptions options_;
@@ -158,6 +227,21 @@ class TeamFormationServer {
   BatchScheduler scheduler_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::once_flag shutdown_once_;
+
+  /// Admission sequence for EDF tie-breaks (relaxed: a pure counter).
+  std::atomic<uint64_t> seq_{0};
+  /// Lock-free ordering contract: integer EWMAs (α = 1/8) of the shared
+  /// view build cost and the per-request full-path service cost, in µs.
+  /// Plain load/store with relaxed order — concurrent workers may lose an
+  /// update, which only perturbs an estimate; no data is published
+  /// through them.
+  std::atomic<uint64_t> build_ewma_us_{0};
+  std::atomic<uint64_t> service_ewma_us_{0};
+  std::atomic<uint64_t> degraded_ewma_us_{0};
+  /// Live queue-latency histogram feeding admission-control estimates and
+  /// retry-after hints (served responses only).
+  mutable Mutex lat_mu_;
+  LatencyHistogram queue_hist_ TFSN_GUARDED_BY(lat_mu_);
 };
 
 }  // namespace tfsn::serve

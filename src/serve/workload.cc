@@ -120,6 +120,25 @@ void SortById(std::vector<TeamResponse>* responses) {
             });
 }
 
+// Splits the fulfilled responses into the completed / shed / unavailable
+// tallies (see WorkloadResult).
+void TallyResponses(WorkloadResult* result) {
+  result->completed = 0;
+  result->shed = 0;
+  result->degraded = 0;
+  result->unavailable = 0;
+  for (const TeamResponse& resp : result->responses) {
+    if (resp.status.ok()) {
+      ++result->completed;
+      if (resp.degraded) ++result->degraded;
+    } else if (resp.status.IsDeadlineExceeded()) {
+      ++result->shed;
+    } else {
+      ++result->unavailable;
+    }
+  }
+}
+
 }  // namespace
 
 WorkloadResult RunOpenLoop(TeamFormationServer* server,
@@ -140,11 +159,14 @@ WorkloadResult RunOpenLoop(TeamFormationServer* server,
                                               std::chrono::duration<double>(
                                                   offset_s)));
     std::future<TeamResponse> fut;
-    if (server->TrySubmit(std::move(req), &fut)) {
+    const Status admitted = server->TrySubmit(std::move(req), &fut);
+    if (admitted.ok()) {
       futures.push_back(std::move(fut));
       ++result.submitted;
+    } else if (admitted.IsResourceExhausted()) {
+      ++result.dropped;  // queue full: classic open-loop drop
     } else {
-      ++result.dropped;
+      ++result.rejected;  // admission control said "retry later"
     }
   }
   result.responses.reserve(futures.size());
@@ -152,7 +174,7 @@ WorkloadResult RunOpenLoop(TeamFormationServer* server,
     result.responses.push_back(fut.get());
   }
   result.seconds = timer.Seconds();
-  result.completed = result.responses.size();
+  TallyResponses(&result);
   SortById(&result.responses);
   return result;
 }
@@ -165,7 +187,12 @@ WorkloadResult RunBurst(TeamFormationServer* server,
   Timer timer;
   for (TeamRequest& req : requests) {
     std::future<TeamResponse> fut;
-    if (!server->Submit(std::move(req), &fut)) break;  // shut down
+    const Status admitted = server->Submit(std::move(req), &fut);
+    if (admitted.IsUnavailable()) break;  // shut down
+    if (!admitted.ok()) {
+      ++result.rejected;  // infeasible deadline; the stream keeps going
+      continue;
+    }
     futures.push_back(std::move(fut));
     ++result.submitted;
   }
@@ -174,7 +201,7 @@ WorkloadResult RunBurst(TeamFormationServer* server,
     result.responses.push_back(fut.get());
   }
   result.seconds = timer.Seconds();
-  result.completed = result.responses.size();
+  TallyResponses(&result);
   SortById(&result.responses);
   return result;
 }
@@ -193,6 +220,7 @@ WorkloadResult RunClosedLoop(TeamFormationServer* server,
   std::atomic<size_t> next{0};
   std::vector<std::vector<TeamResponse>> per_client(clients);
   std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> rejected{0};
   Timer timer;
   {
     std::vector<std::thread> pool;
@@ -203,7 +231,12 @@ WorkloadResult RunClosedLoop(TeamFormationServer* server,
           const size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= requests.size()) return;
           std::future<TeamResponse> fut;
-          if (!server->Submit(std::move(requests[i]), &fut)) return;
+          const Status admitted = server->Submit(std::move(requests[i]), &fut);
+          if (admitted.IsUnavailable()) return;  // shut down
+          if (!admitted.ok()) {
+            rejected.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
           submitted.fetch_add(1, std::memory_order_relaxed);
           per_client[c].push_back(fut.get());
         }
@@ -213,12 +246,13 @@ WorkloadResult RunClosedLoop(TeamFormationServer* server,
   }
   result.seconds = timer.Seconds();
   result.submitted = submitted.load();
+  result.rejected = rejected.load();
   for (std::vector<TeamResponse>& chunk : per_client) {
     result.responses.insert(result.responses.end(),
                             std::make_move_iterator(chunk.begin()),
                             std::make_move_iterator(chunk.end()));
   }
-  result.completed = result.responses.size();
+  TallyResponses(&result);
   SortById(&result.responses);
   return result;
 }

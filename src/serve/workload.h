@@ -116,15 +116,34 @@ struct WorkloadOptions {
 std::vector<TeamRequest> GenerateRequests(const SkillAssignment& skills,
                                           const WorkloadOptions& options);
 
-/// Outcome of one workload run.
+/// Outcome of one workload run. The accounting identity per stream:
+/// every generated request is exactly one of {dropped, rejected,
+/// submitted}, and every submitted request yields exactly one response —
+/// completed (OK; `degraded` counts its degraded subset) or shed
+/// (DeadlineExceeded) or unavailable (server shut down first).
 struct WorkloadResult {
+  /// Requests admitted into the server (a future exists for each).
   uint64_t submitted = 0;
-  /// Open loop only: arrivals refused by a full queue.
+  /// Open loop only: arrivals refused by a full queue (backpressure).
   uint64_t dropped = 0;
+  /// Arrivals refused by admission control (deadline infeasible) — a
+  /// different signal than `dropped`: the caller was told to retry later,
+  /// not that the queue was full.
+  uint64_t rejected = 0;
+  /// Admitted requests whose response is OK (a team or an exact "no
+  /// team"). completed + shed + unavailable == submitted.
   uint64_t completed = 0;
+  /// Admitted requests fulfilled with DeadlineExceeded (expired in queue
+  /// or unfundable by any serving tier).
+  uint64_t shed = 0;
+  /// Completed responses served from an incomplete cache-only view
+  /// (TeamResponse::degraded) — a subset of `completed`.
+  uint64_t degraded = 0;
+  /// Admitted requests fulfilled with Unavailable (shutdown drain).
+  uint64_t unavailable = 0;
   /// Wall clock from the first submission to the last response.
   double seconds = 0;
-  /// Completed responses, ascending by request id.
+  /// Every fulfilled response (including shed ones), ascending by id.
   std::vector<TeamResponse> responses;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "src/util/fault_injection.h"
 #include "src/util/logging.h"
 
 namespace tfsn {
@@ -132,6 +133,10 @@ std::unique_ptr<TaskCompatView> TaskCompatView::BuildFromUniverse(
   const bool sbph = oracle->kind() == CompatKind::kSBPH;
   if (EstimateBytes(m, task_skills.size(), sbph) > max_bytes) return nullptr;
 
+  // Injected allocation/build failure: callers already treat nullptr as
+  // "use the oracle directly", which is bit-identical.
+  if (TFSN_FAULT_POINT("task_view.build_fail")) return nullptr;
+
   std::unique_ptr<TaskCompatView> view(new TaskCompatView());
   view->oracle_ = oracle;
   view->task_ = task;
@@ -206,6 +211,105 @@ std::unique_ptr<TaskCompatView> TaskCompatView::BuildFromUniverse(
     }
     view->holder_counts_[p] = static_cast<uint32_t>(holders.size());
   }
+  return view;
+}
+
+std::unique_ptr<TaskCompatView> TaskCompatView::BuildFromCachedRows(
+    CompatibilityOracle* oracle, const SkillAssignment& skills,
+    const Task& task, std::vector<NodeId> universe, size_t max_bytes,
+    bool* complete) {
+  TFSN_CHECK(oracle != nullptr);
+  TFSN_CHECK(complete != nullptr);
+  *complete = false;
+  if (oracle->graph().num_nodes() >= kDenseUnreachable / 2) return nullptr;
+  auto task_skills = task.skills();
+
+  const size_t m = universe.size();
+  const size_t words = (m + 63) / 64;
+  const bool sbph = oracle->kind() == CompatKind::kSBPH;
+  if (EstimateBytes(m, task_skills.size(), sbph) > max_bytes) return nullptr;
+
+  std::unique_ptr<TaskCompatView> view(new TaskCompatView());
+  view->oracle_ = oracle;
+  view->task_ = task;
+  view->kind_ = oracle->kind();
+  view->m_ = static_cast<uint32_t>(m);
+  view->words_ = words;
+  view->universe_ = std::move(universe);
+  view->dir_bits_.reset(new uint64_t[m * words]);
+  view->dist_.reset(new uint16_t[m * m]);
+  view->dir_ready_.reset(new std::atomic<uint8_t>[m]);
+  view->dist_ready_.reset(new std::atomic<uint8_t>[m]);
+
+  // Every row fills eagerly — from its cached oracle row when resident,
+  // pessimistically otherwise — and both ready sets are fully published,
+  // so the lazy materializers (and hence the oracle's compute path) are
+  // never reached through this view.
+  const NodeId* uni = view->universe_.data();
+  bool all_cached = true;
+  for (size_t i = 0; i < m; ++i) {
+    uint64_t* bits = view->dir_bits_.get() + i * words;
+    uint16_t* dist = view->dist_.get() + i * m;
+    std::shared_ptr<const CompatibilityOracle::Row> row =
+        oracle->PeekRow(uni[i]);
+    if (row != nullptr) {
+      const uint8_t* comp_src = row->comp.data();
+      const uint32_t* dist_src = row->dist.data();
+      for (size_t w = 0; w < words; ++w) {
+        const size_t j_end = std::min(m, (w + 1) * 64);
+        uint64_t word = 0;
+        for (size_t j = w * 64; j < j_end; ++j) {
+          word |= static_cast<uint64_t>(comp_src[uni[j]] != 0) << (j & 63);
+        }
+        bits[w] = word;
+      }
+      for (size_t j = 0; j < m; ++j) {
+        dist[j] = static_cast<uint16_t>(
+            std::min<uint32_t>(dist_src[uni[j]], kDenseUnreachable));
+      }
+    } else {
+      // Pessimistic fill: an unknown candidate admits nobody and reaches
+      // nobody, so teams formed against the view only ever rely on pairs
+      // a real row confirmed (sound, possibly suboptimal).
+      all_cached = false;
+      std::fill(bits, bits + words, uint64_t{0});
+      std::fill(dist, dist + m, kDenseUnreachable);
+    }
+    view->dir_ready_[i].store(1, std::memory_order_relaxed);
+    view->dist_ready_[i].store(1, std::memory_order_relaxed);
+  }
+
+  if (sbph) {
+    // Symmetric closure over the known directional bits, exactly as the
+    // eager full build computes it.
+    view->pair_bits_.assign(view->dir_bits_.get(),
+                            view->dir_bits_.get() + m * words);
+    for (size_t i = 0; i < m; ++i) {
+      const uint64_t* row_i = view->dir_bits_.get() + i * words;
+      for (size_t j = i + 1; j < m; ++j) {
+        if ((row_i[j >> 6] >> (j & 63)) & 1u) {
+          view->pair_bits_[j * words + (i >> 6)] |= uint64_t{1} << (i & 63);
+        }
+        if ((view->dir_bits_[j * words + (i >> 6)] >> (i & 63)) & 1u) {
+          view->pair_bits_[i * words + (j >> 6)] |= uint64_t{1} << (j & 63);
+        }
+      }
+    }
+  }
+
+  view->holder_bits_.assign(task_skills.size() * words, 0);
+  view->holder_counts_.assign(task_skills.size(), 0);
+  for (size_t p = 0; p < task_skills.size(); ++p) {
+    uint64_t* mask = view->holder_bits_.data() + p * words;
+    auto holders = skills.Holders(task_skills[p]);
+    for (NodeId h : holders) {
+      const uint32_t local = view->LocalOf(h);
+      TFSN_CHECK(local != kNoLocalId);
+      mask[local >> 6] |= uint64_t{1} << (local & 63);
+    }
+    view->holder_counts_[p] = static_cast<uint32_t>(holders.size());
+  }
+  *complete = all_cached;
   return view;
 }
 

@@ -103,6 +103,22 @@ class TaskCompatView {
       const Task& task, std::vector<NodeId> universe, uint32_t threads = 1,
       size_t max_bytes = kDefaultMaxBytes);
 
+  /// Degraded-tier builder for deadline-pressed serving: materializes the
+  /// whole view eagerly from rows already resident in the oracle's cache
+  /// memory tier (CompatibilityOracle::PeekRow) — never computes a row,
+  /// never reads the spill tier, so the cost is bounded by decodes. A
+  /// universe row that is not cached is filled pessimistically: no comp
+  /// bits, all distances unreachable. Teams formed against such a view
+  /// are *sound* (every accepted pair was confirmed by a real cached row)
+  /// but may differ from the exact answer — callers must mark responses
+  /// degraded unless *complete was set true (every row was cached, making
+  /// the view bit-identical to the full build). Returns nullptr under the
+  /// same gates as BuildFromUniverse.
+  static std::unique_ptr<TaskCompatView> BuildFromCachedRows(
+      CompatibilityOracle* oracle, const SkillAssignment& skills,
+      const Task& task, std::vector<NodeId> universe, size_t max_bytes,
+      bool* complete);
+
   /// Number of candidates (local ids are [0, size())).
   uint32_t size() const { return m_; }
   /// 64-bit words per bit row.

@@ -1,0 +1,151 @@
+#include "src/util/fault_injection.h"
+
+#include <cstdlib>
+
+namespace tfsn {
+
+namespace {
+
+// SplitMix64 step: the standard 64-bit finalizer over an incrementing
+// state. Deterministic per (seed, evaluation index) — the probability
+// mode must reproduce exactly under replay, so no random_device here.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultRegistry& FaultRegistry::Instance() {
+  static FaultRegistry* instance = new FaultRegistry();
+  return *instance;
+}
+
+void FaultRegistry::Arm(const std::string& point, FaultSchedule schedule) {
+  MutexLock lock(&mu_);
+  PointState& state = points_[point];
+  state.schedule = schedule;
+  state.hits = 0;
+  state.fires = 0;
+  state.rng = schedule.seed;
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  MutexLock lock(&mu_);
+  auto it = points_.find(point);
+  if (it != points_.end()) it->second.schedule = FaultSchedule{};
+}
+
+void FaultRegistry::Reset() {
+  MutexLock lock(&mu_);
+  points_.clear();
+}
+
+bool FaultRegistry::ShouldFire(const char* point) {
+  MutexLock lock(&mu_);
+  PointState& state = points_[point];
+  ++state.hits;
+  bool fire = false;
+  switch (state.schedule.mode) {
+    case FaultSchedule::Mode::kOff:
+      break;
+    case FaultSchedule::Mode::kNth:
+      fire = state.hits == state.schedule.n;
+      break;
+    case FaultSchedule::Mode::kEveryNth:
+      fire = state.schedule.n != 0 && state.hits % state.schedule.n == 0;
+      break;
+    case FaultSchedule::Mode::kProbability: {
+      const uint64_t draw = SplitMix64(&state.rng) >> 11;  // 53 bits
+      const double u =
+          static_cast<double>(draw) * (1.0 / 9007199254740992.0);  // 2^-53
+      fire = u < state.schedule.probability;
+      break;
+    }
+    case FaultSchedule::Mode::kAlways:
+      fire = true;
+      break;
+  }
+  if (fire) ++state.fires;
+  return fire;
+}
+
+uint64_t FaultRegistry::HitCount(const std::string& point) const {
+  MutexLock lock(&mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultRegistry::FireCount(const std::string& point) const {
+  MutexLock lock(&mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> FaultRegistry::ArmedPoints() const {
+  MutexLock lock(&mu_);
+  std::vector<std::string> armed;
+  for (const auto& [name, state] : points_) {
+    if (state.schedule.mode != FaultSchedule::Mode::kOff) {
+      armed.push_back(name);
+    }
+  }
+  return armed;
+}
+
+namespace {
+
+// strtoull accepts (and wraps) leading '-', so counters and seeds get an
+// explicit digits-only gate.
+bool AllDigits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool FaultRegistry::ParseSchedule(const std::string& text,
+                                  FaultSchedule* out) {
+  FaultSchedule parsed;
+  if (text == "off") {
+    parsed.mode = FaultSchedule::Mode::kOff;
+  } else if (text == "always") {
+    parsed.mode = FaultSchedule::Mode::kAlways;
+  } else if (text.rfind("nth:", 0) == 0 || text.rfind("every:", 0) == 0) {
+    const bool nth = text.rfind("nth:", 0) == 0;
+    const std::string arg = text.substr(nth ? 4 : 6);
+    if (!AllDigits(arg)) return false;
+    const unsigned long long n = std::strtoull(arg.c_str(), nullptr, 10);
+    if (n == 0) return false;
+    parsed.mode = nth ? FaultSchedule::Mode::kNth
+                      : FaultSchedule::Mode::kEveryNth;
+    parsed.n = n;
+  } else if (text.rfind("p:", 0) == 0) {
+    std::string arg = text.substr(2);
+    const size_t colon = arg.find(':');
+    if (colon != std::string::npos) {
+      const std::string seed_text = arg.substr(colon + 1);
+      if (!AllDigits(seed_text)) return false;
+      parsed.seed = std::strtoull(seed_text.c_str(), nullptr, 10);
+      arg = arg.substr(0, colon);
+    }
+    char* end = nullptr;
+    const double p = std::strtod(arg.c_str(), &end);
+    if (arg.empty() || end == nullptr || *end != '\0' || p < 0.0 || p > 1.0) {
+      return false;
+    }
+    parsed.mode = FaultSchedule::Mode::kProbability;
+    parsed.probability = p;
+  } else {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+}  // namespace tfsn

@@ -1,0 +1,126 @@
+// Deterministic fault injection behind the TFSN_FAULTS build option.
+//
+// Production code marks a recoverable failure path with a named point:
+//
+//   if (TFSN_FAULT_POINT(<"module.failure_site">)) return false;
+//
+// In a normal build (TFSN_FAULTS off) the macro expands to the literal
+// `false` — the branch is dead code the compiler removes, so shipping
+// binaries carry zero overhead and no registry symbol dependencies from
+// the call sites. With -DTFSN_FAULTS=ON every evaluation consults the
+// process-wide FaultRegistry, which decides whether the point "fires"
+// this time according to the schedule a test armed:
+//
+//   * nth:K      — fire exactly on the K-th evaluation (1-based);
+//   * every:K    — fire on every K-th evaluation;
+//   * p:P[:SEED] — fire with probability P per evaluation, driven by a
+//                  private SplitMix64 stream (explicitly seeded, so the
+//                  firing pattern reproduces across runs);
+//   * always     — fire on every evaluation;
+//   * off        — never fire (but still count evaluations).
+//
+// Counting schedules (nth/every/always) are robust to thread
+// interleaving in aggregate: the hit counter is advanced under the
+// registry mutex, so the number of fires over a run is deterministic
+// even when *which* thread draws the firing evaluation is not. Injected
+// faults must only exercise failure paths the code already recovers
+// from — the fault-matrix test (tests/fault_matrix_test.cc) asserts the
+// server's answers stay digest-identical under every schedule.
+//
+// Point names are namespaced "<module>.<site>" string literals, unique
+// across the tree and documented in README.md's fault-point catalog —
+// both enforced by tools/lint.sh.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace tfsn {
+
+/// True in builds compiled with -DTFSN_FAULTS=ON; lets front ends fail
+/// fast ("--fault requires a fault build") instead of silently no-opping.
+#if defined(TFSN_FAULTS)
+inline constexpr bool kFaultsEnabled = true;
+#else
+inline constexpr bool kFaultsEnabled = false;
+#endif
+
+/// When (and how often) an armed injection point fires.
+struct FaultSchedule {
+  enum class Mode : uint8_t {
+    kOff = 0,
+    kNth,          // fire exactly once, on the n-th evaluation (1-based)
+    kEveryNth,     // fire on evaluations n, 2n, 3n, ...
+    kProbability,  // fire with `probability` per evaluation (seeded)
+    kAlways,
+  };
+  Mode mode = Mode::kOff;
+  uint64_t n = 1;
+  double probability = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Process-wide registry of named injection points. All member functions
+/// are safe from any thread (one mutex; evaluations are cheap counter
+/// bumps). Compiled into every build; only the TFSN_FAULT_POINT call
+/// sites are compile-time gated.
+class FaultRegistry {
+ public:
+  static FaultRegistry& Instance();
+
+  /// Arms `point` with `schedule`, resetting its counters and rng stream.
+  void Arm(const std::string& point, FaultSchedule schedule);
+
+  /// Disarms `point` (evaluations keep counting, nothing fires).
+  void Disarm(const std::string& point);
+
+  /// Disarms every point and drops all counters.
+  void Reset();
+
+  /// One evaluation of `point`: counts the hit and reports whether the
+  /// armed schedule fires it. Unarmed points never fire.
+  bool ShouldFire(const char* point);
+
+  /// Evaluations of `point` so far (armed or not).
+  uint64_t HitCount(const std::string& point) const;
+
+  /// Times `point` actually fired.
+  uint64_t FireCount(const std::string& point) const;
+
+  /// Names with a non-kOff schedule currently armed.
+  std::vector<std::string> ArmedPoints() const;
+
+  /// Parses "nth:K", "every:K", "p:P[:SEED]", "always", or "off".
+  /// Returns false (leaving *out untouched) on malformed text.
+  static bool ParseSchedule(const std::string& text, FaultSchedule* out);
+
+ private:
+  struct PointState {
+    FaultSchedule schedule;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+    uint64_t rng = 0;  // SplitMix64 state for kProbability
+  };
+
+  FaultRegistry() = default;
+
+  mutable Mutex mu_;
+  std::unordered_map<std::string, PointState> points_ TFSN_GUARDED_BY(mu_);
+};
+
+/// One evaluation of the named injection point. `name` must be a string
+/// literal (the lint catalog greps for it). Expands to plain `false`
+/// unless the build enables TFSN_FAULTS.
+#if defined(TFSN_FAULTS)
+#define TFSN_FAULT_POINT(name) (::tfsn::FaultRegistry::Instance().ShouldFire(name))
+#else
+#define TFSN_FAULT_POINT(name) (false)
+#endif
+
+}  // namespace tfsn

@@ -24,6 +24,8 @@ enum class StatusCode : int8_t {
   kInternal = 7,
   kResourceExhausted = 8,
   kInfeasible = 9,  ///< A solver proved that no feasible solution exists.
+  kUnavailable = 10,       ///< The service is shutting down or not serving.
+  kDeadlineExceeded = 11,  ///< An SLO deadline expired (or cannot be met).
 };
 
 /// Returns a stable human-readable name for a status code ("OK", "IOError"...).
@@ -80,6 +82,12 @@ class Status {
   static Status Infeasible(std::string msg) {
     return Status(StatusCode::kInfeasible, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
@@ -93,6 +101,10 @@ class Status {
     return code() == StatusCode::kResourceExhausted;
   }
   bool IsInfeasible() const { return code() == StatusCode::kInfeasible; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
   const std::string& message() const {

@@ -14,7 +14,7 @@ namespace {
 
 TEST(AdmissionQueueTest, FifoOrderSingleConsumer) {
   AdmissionQueue<int> q(100);
-  for (int i = 0; i < 50; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(q.Push(i).ok());
   EXPECT_EQ(q.size(), 50u);
   for (int i = 0; i < 50; ++i) {
     int v = -1;
@@ -26,22 +26,22 @@ TEST(AdmissionQueueTest, FifoOrderSingleConsumer) {
 
 TEST(AdmissionQueueTest, TryPushBackpressureOnFullQueue) {
   AdmissionQueue<int> q(3);
-  for (int i = 0; i < 3; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(q.Push(i).ok());
   int item = 99;
-  EXPECT_FALSE(q.TryPush(&item));
+  EXPECT_TRUE(q.TryPush(&item).IsResourceExhausted());
   EXPECT_EQ(item, 99);  // refused pushes leave the item untouched
   int v;
   EXPECT_TRUE(q.Pop(&v));
-  EXPECT_TRUE(q.TryPush(&item));
+  EXPECT_TRUE(q.TryPush(&item).ok());
   EXPECT_EQ(q.size(), 3u);
 }
 
 TEST(AdmissionQueueTest, PushBlocksUntilSpace) {
   AdmissionQueue<int> q(1);
-  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(1).ok());
   std::atomic<bool> second_pushed{false};
   std::thread producer([&] {
-    EXPECT_TRUE(q.Push(2));  // blocks: queue full
+    EXPECT_TRUE(q.Push(2).ok());  // blocks: queue full
     second_pushed.store(true);
   });
   // The producer must not complete while the queue is full. (A sleep
@@ -60,13 +60,13 @@ TEST(AdmissionQueueTest, PushBlocksUntilSpace) {
 
 TEST(AdmissionQueueTest, ShutdownDrainsAllThenFails) {
   AdmissionQueue<int> q(10);
-  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i).ok());
   q.Close();
   EXPECT_TRUE(q.closed());
   // Producers fail fast after Close...
-  EXPECT_FALSE(q.Push(99));
+  EXPECT_TRUE(q.Push(99).IsUnavailable());
   int item = 99;
-  EXPECT_FALSE(q.TryPush(&item));
+  EXPECT_TRUE(q.TryPush(&item).IsUnavailable());
   // ...but consumers drain every admitted item before seeing failure.
   for (int i = 0; i < 5; ++i) {
     int v = -1;
@@ -80,9 +80,9 @@ TEST(AdmissionQueueTest, ShutdownDrainsAllThenFails) {
 
 TEST(AdmissionQueueTest, CloseWakesBlockedProducerAndConsumer) {
   AdmissionQueue<int> q(1);
-  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(1).ok());
   std::thread producer([&] {
-    EXPECT_FALSE(q.Push(2));  // blocked on full, woken by Close -> false
+    EXPECT_TRUE(q.Push(2).IsUnavailable());  // blocked on full, woken by Close
   });
   AdmissionQueue<int> empty(1);
   std::thread consumer([&] {
@@ -106,11 +106,11 @@ TEST(AdmissionQueueTest, PopOrOutcomes) {
   // Predicate already true on an empty open queue: immediate kWakeup.
   EXPECT_EQ(q.PopOr(&v, [] { return true; }), PopStatus::kWakeup);
   // An available item wins over a true predicate.
-  EXPECT_TRUE(q.Push(7));
+  EXPECT_TRUE(q.Push(7).ok());
   EXPECT_EQ(q.PopOr(&v, [] { return true; }), PopStatus::kItem);
   EXPECT_EQ(v, 7);
   // Closed with a leftover: drain first, then report closed.
-  EXPECT_TRUE(q.Push(8));
+  EXPECT_TRUE(q.Push(8).ok());
   q.Close();
   EXPECT_EQ(q.PopOr(&v, [] { return false; }), PopStatus::kItem);
   EXPECT_EQ(v, 8);
@@ -139,7 +139,7 @@ TEST(AdmissionQueueTest, DrainIntoTakesAvailableWithoutBlocking) {
   AdmissionQueue<int> q(100);
   std::vector<int> out;
   EXPECT_EQ(q.DrainInto(&out, 10), 0u);  // empty: returns immediately
-  for (int i = 0; i < 7; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 7; ++i) EXPECT_TRUE(q.Push(i).ok());
   EXPECT_EQ(q.DrainInto(&out, 5), 5u);
   EXPECT_EQ(q.DrainInto(&out, 5), 2u);
   ASSERT_EQ(out.size(), 7u);
@@ -158,7 +158,7 @@ TEST(AdmissionQueueTest, ProducerConsumerHammer) {
   for (int p = 0; p < kProducers; ++p) {
     producers.emplace_back([&q, p] {
       for (int i = 0; i < kPerProducer; ++i) {
-        ASSERT_TRUE(q.Push(static_cast<uint64_t>(p) * kPerProducer + i));
+        ASSERT_TRUE(q.Push(static_cast<uint64_t>(p) * kPerProducer + i).ok());
       }
     });
   }
@@ -202,7 +202,7 @@ TEST(AdmissionQueueTest, PerConsumerOrderIsSubsequenceUnderContention) {
     int v;
     while (q.Pop(&v)) seen_b.push_back(v);
   });
-  for (int i = 0; i < 2000; ++i) ASSERT_TRUE(q.Push(i));
+  for (int i = 0; i < 2000; ++i) ASSERT_TRUE(q.Push(i).ok());
   q.Close();
   ca.join();
   cb.join();

@@ -1,0 +1,139 @@
+// FaultRegistry semantics: schedule parsing and firing rules. These tests
+// call the registry directly, so they run in every build — TFSN_FAULTS
+// only gates the TFSN_FAULT_POINT call sites in production code (and the
+// end-to-end fault matrix in fault_matrix_test.cc).
+
+#include "src/util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tfsn {
+namespace {
+
+class FaultRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultRegistry::Instance().Reset(); }
+  void TearDown() override { FaultRegistry::Instance().Reset(); }
+};
+
+TEST_F(FaultRegistryTest, UnarmedPointsCountButNeverFire) {
+  auto& reg = FaultRegistry::Instance();
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(reg.ShouldFire("test.point"));
+  EXPECT_EQ(reg.HitCount("test.point"), 5u);
+  EXPECT_EQ(reg.FireCount("test.point"), 0u);
+  EXPECT_TRUE(reg.ArmedPoints().empty());
+}
+
+TEST_F(FaultRegistryTest, NthFiresExactlyOnce) {
+  auto& reg = FaultRegistry::Instance();
+  FaultSchedule s;
+  s.mode = FaultSchedule::Mode::kNth;
+  s.n = 3;
+  reg.Arm("test.nth", s);
+  EXPECT_FALSE(reg.ShouldFire("test.nth"));
+  EXPECT_FALSE(reg.ShouldFire("test.nth"));
+  EXPECT_TRUE(reg.ShouldFire("test.nth"));  // 3rd evaluation
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(reg.ShouldFire("test.nth"));
+  EXPECT_EQ(reg.FireCount("test.nth"), 1u);
+}
+
+TEST_F(FaultRegistryTest, EveryNthFiresPeriodically) {
+  auto& reg = FaultRegistry::Instance();
+  FaultSchedule s;
+  s.mode = FaultSchedule::Mode::kEveryNth;
+  s.n = 2;
+  reg.Arm("test.every", s);
+  int fires = 0;
+  for (int i = 1; i <= 10; ++i) {
+    const bool fired = reg.ShouldFire("test.every");
+    EXPECT_EQ(fired, i % 2 == 0) << "evaluation " << i;
+    fires += fired;
+  }
+  EXPECT_EQ(fires, 5);
+  EXPECT_EQ(reg.FireCount("test.every"), 5u);
+}
+
+TEST_F(FaultRegistryTest, AlwaysAndOffAndDisarm) {
+  auto& reg = FaultRegistry::Instance();
+  FaultSchedule s;
+  s.mode = FaultSchedule::Mode::kAlways;
+  reg.Arm("test.always", s);
+  EXPECT_TRUE(reg.ShouldFire("test.always"));
+  EXPECT_EQ(reg.ArmedPoints(), std::vector<std::string>{"test.always"});
+  reg.Disarm("test.always");
+  EXPECT_FALSE(reg.ShouldFire("test.always"));
+  EXPECT_EQ(reg.HitCount("test.always"), 2u);  // disarm keeps counting
+}
+
+TEST_F(FaultRegistryTest, ProbabilityIsSeededAndReproducible) {
+  auto& reg = FaultRegistry::Instance();
+  FaultSchedule s;
+  s.mode = FaultSchedule::Mode::kProbability;
+  s.probability = 0.5;
+  s.seed = 42;
+  auto draw = [&reg, &s](int evals) {
+    reg.Arm("test.p", s);  // re-arming resets the rng stream
+    std::string bits;
+    for (int i = 0; i < evals; ++i) {
+      bits.push_back(reg.ShouldFire("test.p") ? '1' : '0');
+    }
+    return bits;
+  };
+  const std::string a = draw(64);
+  const std::string b = draw(64);
+  EXPECT_EQ(a, b) << "same seed must reproduce the same firing stream";
+  // Sanity: p=0.5 over 64 draws fires at least once and skips at least once.
+  EXPECT_NE(a.find('1'), std::string::npos);
+  EXPECT_NE(a.find('0'), std::string::npos);
+  s.seed = 43;
+  const std::string c = draw(64);
+  EXPECT_NE(a, c) << "a different seed should give a different stream";
+}
+
+TEST_F(FaultRegistryTest, ParseScheduleAcceptsTheDocumentedGrammar) {
+  FaultSchedule s;
+  ASSERT_TRUE(FaultRegistry::ParseSchedule("off", &s));
+  EXPECT_EQ(s.mode, FaultSchedule::Mode::kOff);
+  ASSERT_TRUE(FaultRegistry::ParseSchedule("always", &s));
+  EXPECT_EQ(s.mode, FaultSchedule::Mode::kAlways);
+  ASSERT_TRUE(FaultRegistry::ParseSchedule("nth:7", &s));
+  EXPECT_EQ(s.mode, FaultSchedule::Mode::kNth);
+  EXPECT_EQ(s.n, 7u);
+  ASSERT_TRUE(FaultRegistry::ParseSchedule("every:3", &s));
+  EXPECT_EQ(s.mode, FaultSchedule::Mode::kEveryNth);
+  EXPECT_EQ(s.n, 3u);
+  ASSERT_TRUE(FaultRegistry::ParseSchedule("p:0.25", &s));
+  EXPECT_EQ(s.mode, FaultSchedule::Mode::kProbability);
+  EXPECT_DOUBLE_EQ(s.probability, 0.25);
+  ASSERT_TRUE(FaultRegistry::ParseSchedule("p:0.5:99", &s));
+  EXPECT_EQ(s.seed, 99u);
+}
+
+TEST_F(FaultRegistryTest, ParseScheduleRejectsMalformedText) {
+  FaultSchedule s;
+  s.mode = FaultSchedule::Mode::kAlways;  // must stay untouched on failure
+  EXPECT_FALSE(FaultRegistry::ParseSchedule("", &s));
+  EXPECT_FALSE(FaultRegistry::ParseSchedule("nth", &s));
+  EXPECT_FALSE(FaultRegistry::ParseSchedule("nth:", &s));
+  EXPECT_FALSE(FaultRegistry::ParseSchedule("nth:0", &s));
+  EXPECT_FALSE(FaultRegistry::ParseSchedule("nth:2x", &s));
+  EXPECT_FALSE(FaultRegistry::ParseSchedule("every:-1", &s));
+  EXPECT_FALSE(FaultRegistry::ParseSchedule("p:1.5", &s));
+  EXPECT_FALSE(FaultRegistry::ParseSchedule("p:-0.1", &s));
+  EXPECT_FALSE(FaultRegistry::ParseSchedule("p:0.5:abc", &s));
+  EXPECT_FALSE(FaultRegistry::ParseSchedule("sometimes", &s));
+  EXPECT_EQ(s.mode, FaultSchedule::Mode::kAlways);
+}
+
+TEST_F(FaultRegistryTest, CompileTimeFlagMatchesBuildConfiguration) {
+#if defined(TFSN_FAULTS)
+  EXPECT_TRUE(kFaultsEnabled);
+#else
+  EXPECT_FALSE(kFaultsEnabled);
+#endif
+}
+
+}  // namespace
+}  // namespace tfsn

@@ -209,11 +209,11 @@ TEST(BatchSchedulerTest, GroupsOverlappingFootprintsOnly) {
   BatchScheduler scheduler(*skills, /*sbph=*/false, policy);
   AdmissionQueue<ScheduledRequest> queue(16);
 
-  ASSERT_TRUE(queue.Push(MakeScheduled(0, {0})));
-  ASSERT_TRUE(queue.Push(MakeScheduled(1, {2})));
-  ASSERT_TRUE(queue.Push(MakeScheduled(2, {1})));
-  ASSERT_TRUE(queue.Push(MakeScheduled(3, {3})));
-  ASSERT_TRUE(queue.Push(MakeScheduled(4, {0, 1})));
+  ASSERT_TRUE(queue.Push(MakeScheduled(0, {0})).ok());
+  ASSERT_TRUE(queue.Push(MakeScheduled(1, {2})).ok());
+  ASSERT_TRUE(queue.Push(MakeScheduled(2, {1})).ok());
+  ASSERT_TRUE(queue.Push(MakeScheduled(3, {3})).ok());
+  ASSERT_TRUE(queue.Push(MakeScheduled(4, {0, 1})).ok());
   queue.Close();
 
   RequestBatch batch;
@@ -256,7 +256,7 @@ TEST(BatchSchedulerTest, IdenticalTasksBatchUpToMaxBatch) {
   BatchScheduler scheduler(*skills, false, policy);
   AdmissionQueue<ScheduledRequest> queue(16);
   for (uint64_t i = 0; i < 5; ++i) {
-    ASSERT_TRUE(queue.Push(MakeScheduled(i, {0})));
+    ASSERT_TRUE(queue.Push(MakeScheduled(i, {0})).ok());
   }
   queue.Close();
 
@@ -286,9 +286,9 @@ TEST(BatchSchedulerTest, ByteCapStopsUnionGrowth) {
   policy.max_view_bytes = TaskCompatView::EstimateBytes(70, 2, false);
   BatchScheduler scheduler(*skills, false, policy);
   AdmissionQueue<ScheduledRequest> queue(16);
-  ASSERT_TRUE(queue.Push(MakeScheduled(0, {0})));
-  ASSERT_TRUE(queue.Push(MakeScheduled(1, {1})));
-  ASSERT_TRUE(queue.Push(MakeScheduled(2, {0})));  // duplicate: no growth
+  ASSERT_TRUE(queue.Push(MakeScheduled(0, {0})).ok());
+  ASSERT_TRUE(queue.Push(MakeScheduled(1, {1})).ok());
+  ASSERT_TRUE(queue.Push(MakeScheduled(2, {0})).ok());  // duplicate: no growth
   queue.Close();
 
   RequestBatch batch;
@@ -513,7 +513,7 @@ TEST(TeamFormationServerTest, ShutdownDrainsAndRefusesNewWork) {
   std::vector<std::future<TeamResponse>> futures;
   for (const TeamRequest& req : requests) {
     std::future<TeamResponse> fut;
-    ASSERT_TRUE(server->Submit(req, &fut));
+    ASSERT_TRUE(server->Submit(req, &fut).ok());
     futures.push_back(std::move(fut));
   }
   server->Shutdown();
@@ -523,8 +523,8 @@ TEST(TeamFormationServerTest, ShutdownDrainsAndRefusesNewWork) {
     EXPECT_GE(resp.batch_size, 1u);
   }
   std::future<TeamResponse> fut;
-  EXPECT_FALSE(server->Submit(requests[0], &fut));
-  EXPECT_FALSE(server->TrySubmit(requests[0], &fut));
+  EXPECT_TRUE(server->Submit(requests[0], &fut).IsUnavailable());
+  EXPECT_TRUE(server->TrySubmit(requests[0], &fut).IsUnavailable());
   server->Shutdown();  // idempotent
 }
 
