@@ -1,0 +1,271 @@
+// Sharded-formation scaling harness: coordinator traffic, data-plane
+// traffic, and wall-clock vs shard count.
+//
+//   shard_scaling --quick [--json=BENCH_shard_scaling.json]
+//   shard_scaling [--nodes=1500,6000] [--shards=1,2,4,8]
+//                 [--strategies=hash,range] [--tasks=20] [--task-size=4]
+//                 [--num-skills=20] [--seed=1] [--json=...]
+//
+// For every graph size the harness first runs the single-node
+// GreedyTeamFormer over a fixed task stream and digests every result
+// (FNV-1a over found/members/cost/objective/seeds). Each (shards,
+// strategy) configuration then replays the identical stream through
+// DistributedFormer and must reproduce the digest bit for bit — the run
+// aborts with exit 1 on any mismatch, so a scaling number can never come
+// from a diverging answer.
+//
+// The harness also enforces the protocol's central scaling claim: the
+// per-step *control-plane* traffic (everything through the coordinator —
+// broadcasts, per-shard bests, cost gathers) is O(shards * team_size) and
+// independent of the universe size n. Growing n by 4x must leave
+// control bytes/step flat (ratio bound below); only the worker-to-worker
+// row-slice data plane may grow with n. Violation exits 1.
+//
+// JSON schema: README, "Bench JSON output".
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "src/dist/distributed_former.h"
+#include "src/gen/generators.h"
+#include "src/skills/skill_generator.h"
+#include "src/team/greedy.h"
+#include "src/util/fnv1a.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace tfsn {
+namespace {
+
+struct Config {
+  std::vector<uint32_t> nodes;
+  std::vector<uint32_t> shards;
+  std::vector<ShardStrategy> strategies;
+  uint32_t tasks = 20;
+  uint32_t task_size = 4;
+  uint32_t num_skills = 20;
+  uint64_t seed = 1;
+  std::string json;
+};
+
+struct Instance {
+  SignedGraph graph;
+  SkillAssignment skills;
+};
+
+Instance MakeInstance(uint32_t n, uint32_t num_skills, uint64_t seed) {
+  Rng rng(seed);
+  Instance inst{RandomConnectedGnm(n, uint64_t{n} * 3, 0.2, &rng), {}};
+  ZipfSkillParams sp;
+  sp.num_skills = num_skills;
+  inst.skills = ZipfSkills(n, sp, &rng);
+  return inst;
+}
+
+GreedyParams BenchParams() {
+  // kRarest needs no index and kMinDistance needs no rank-resolution
+  // rounds, so every measured byte is the core per-step protocol.
+  GreedyParams params;
+  params.skill_policy = SkillPolicy::kRarest;
+  params.user_policy = UserPolicy::kMinDistance;
+  return params;
+}
+
+void MixResult(Fnv1a* digest, const TeamResult& r) {
+  digest->Mix(r.found ? 1 : 0);
+  digest->Mix(r.cost);
+  digest->Mix(r.objective);
+  digest->Mix(r.seeds_tried);
+  digest->Mix(r.seeds_succeeded);
+  for (NodeId m : r.members) digest->Mix(m);
+}
+
+std::string HexDigest(uint64_t digest) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, digest);
+  return buf;
+}
+
+std::vector<uint32_t> ParseU32List(const std::string& csv,
+                                   const std::vector<uint32_t>& fallback) {
+  std::vector<uint32_t> out;
+  for (const std::string& tok : bench::SplitCsv(csv)) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0' || v == 0 || v > 10'000'000) {
+      std::fprintf(stderr, "ignoring bad list entry '%s'\n", tok.c_str());
+      continue;
+    }
+    out.push_back(static_cast<uint32_t>(v));
+  }
+  return out.empty() ? fallback : out;
+}
+
+int Run(const Config& config) {
+  bench::JsonArrayWriter json;
+  bool scaling_ok = true;
+
+  // control bytes/step keyed by (strategy, shards), across graph sizes in
+  // --nodes order; the flatness assertion compares first vs last.
+  std::map<std::pair<std::string, uint32_t>, std::vector<double>> per_step;
+
+  for (const uint32_t n : config.nodes) {
+    bench::PrintHeader("shard scaling, n=" + std::to_string(n));
+    Instance inst = MakeInstance(n, config.num_skills, config.seed);
+
+    Rng task_rng(config.seed + 17);
+    std::vector<Task> tasks;
+    tasks.reserve(config.tasks);
+    for (uint32_t t = 0; t < config.tasks; ++t) {
+      tasks.push_back(RandomTask(inst.skills, config.task_size, &task_rng));
+    }
+
+    // Single-node reference digest.
+    auto oracle = MakeOracle(inst.graph, CompatKind::kSPM);
+    GreedyTeamFormer reference(oracle.get(), inst.skills, nullptr,
+                               BenchParams());
+    Fnv1a want;
+    Timer single_timer;
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      Rng rng(config.seed + 1000 + t);
+      MixResult(&want, reference.Form(tasks[t], &rng));
+    }
+    const double single_wall = single_timer.Seconds();
+    std::printf("  single-node: %.3fs, digest %s\n", single_wall,
+                HexDigest(want.digest()).c_str());
+
+    for (const ShardStrategy strategy : config.strategies) {
+      for (const uint32_t shards : config.shards) {
+        DistOptions options;
+        options.num_shards = shards;
+        options.strategy = strategy;
+        options.oracle_factory = OracleFactoryFor(CompatKind::kSPM);
+        DistributedFormer dist(inst.graph, inst.skills, nullptr,
+                               BenchParams(), options);
+
+        Fnv1a got;
+        uint64_t steps = 0, rounds = 0;
+        CommStats comm;
+        Timer timer;
+        for (size_t t = 0; t < tasks.size(); ++t) {
+          Rng rng(config.seed + 1000 + t);
+          FormCommStats form_comm;
+          const Result<TeamResult> r = dist.Form(tasks[t], &rng, &form_comm);
+          if (!r.ok()) {
+            std::fprintf(stderr, "dist.Form failed: %s\n",
+                         r.status().ToString().c_str());
+            return 1;
+          }
+          MixResult(&got, *r);
+          steps += form_comm.steps;
+          rounds += form_comm.rounds;
+        }
+        const double wall = timer.Seconds();
+        comm = dist.comm_stats();
+
+        if (got.digest() != want.digest()) {
+          std::fprintf(stderr,
+                       "DIGEST MISMATCH: n=%u shards=%u strategy=%s: "
+                       "%s != %s\n",
+                       n, shards, ShardStrategyName(strategy),
+                       HexDigest(got.digest()).c_str(),
+                       HexDigest(want.digest()).c_str());
+          return 1;
+        }
+
+        const double control_per_step =
+            steps == 0 ? 0.0
+                       : static_cast<double>(comm.control_bytes) /
+                             static_cast<double>(steps);
+        per_step[{ShardStrategyName(strategy), shards}].push_back(
+            control_per_step);
+
+        std::printf(
+            "  %-5s S=%u: %.3fs  comm: %" PRIu64 " msgs, %" PRIu64
+            " ctrl B (%.1f B/step), %" PRIu64 " data B, %" PRIu64
+            " steps, %" PRIu64 " rounds\n",
+            ShardStrategyName(strategy), shards, wall, comm.messages_sent,
+            comm.control_bytes, control_per_step, comm.data_bytes, steps,
+            rounds);
+
+        json.BeginObject();
+        json.Field("bench", "shard_scaling");
+        json.Field("strategy", ShardStrategyName(strategy));
+        json.Field("n", n);
+        json.Field("shards", shards);
+        json.Field("tasks", static_cast<uint64_t>(tasks.size()));
+        json.Field("steps", steps);
+        json.Field("rounds", rounds);
+        json.Field("messages", comm.messages_sent);
+        json.Field("control_bytes", comm.control_bytes);
+        json.Field("control_bytes_per_step", control_per_step);
+        json.Field("data_bytes", comm.data_bytes);
+        json.Field("wall_s", wall);
+        json.Field("single_node_wall_s", single_wall);
+        json.Field("digest", HexDigest(got.digest()));
+        json.EndObject();
+      }
+    }
+  }
+
+  // The scaling assertion: per-step coordinator traffic must not grow
+  // with n. The stream and protocol are deterministic, so the only
+  // variation between sizes is team composition; 1.75x headroom is far
+  // below the ~(n_max / n_min)x a universe-sized control plane would show.
+  if (config.nodes.size() >= 2) {
+    for (const auto& [key, series] : per_step) {
+      const double smallest = series.front();
+      const double largest = series.back();
+      if (smallest > 0 && largest > smallest * 1.75) {
+        std::fprintf(stderr,
+                     "CONTROL TRAFFIC SCALES WITH n: strategy=%s shards=%u: "
+                     "%.1f -> %.1f bytes/step\n",
+                     key.first.c_str(), key.second, smallest, largest);
+        scaling_ok = false;
+      }
+    }
+  }
+
+  if (!config.json.empty() && !json.WriteFile(config.json)) return 1;
+  if (!scaling_ok) return 1;
+  std::printf("\nall digests identical; control traffic flat in n\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tfsn
+
+int main(int argc, char** argv) {
+  tfsn::Flags flags(argc, argv);
+  tfsn::Config config;
+  const bool quick = flags.GetBool("quick");
+  config.nodes = tfsn::ParseU32List(flags.GetString("nodes"),
+                                    quick ? std::vector<uint32_t>{300, 1200}
+                                          : std::vector<uint32_t>{1500, 6000});
+  config.shards = tfsn::ParseU32List(flags.GetString("shards"),
+                                     quick ? std::vector<uint32_t>{1, 2, 4}
+                                           : std::vector<uint32_t>{1, 2, 4, 8});
+  config.strategies.clear();
+  for (const std::string& name : tfsn::bench::SplitCsv(
+           flags.GetString("strategies", "hash,range"))) {
+    tfsn::ShardStrategy strategy;
+    if (tfsn::ParseShardStrategy(name, &strategy)) {
+      config.strategies.push_back(strategy);
+    } else {
+      std::fprintf(stderr, "unknown strategy '%s'\n", name.c_str());
+      return 2;
+    }
+  }
+  config.tasks = static_cast<uint32_t>(flags.GetInt("tasks", quick ? 6 : 20));
+  config.task_size = static_cast<uint32_t>(flags.GetInt("task-size", 4));
+  config.num_skills =
+      static_cast<uint32_t>(flags.GetInt("num-skills", 20));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  config.json = flags.GetString("json");
+  return tfsn::Run(config);
+}

@@ -4,6 +4,7 @@
 //   tfsn_cli compat  --dataset=slashdot --u=3 --v=17 [--relation=spm]
 //   tfsn_cli team    --dataset=epinions --scale=0.05 --skills=1,4,9
 //                    [--relation=spm] [--algorithm=lcmd|lcmc|random] [--topk=3]
+//                    [--shards=S] [--shard-strategy=hash|range]  (alias: form)
 //   tfsn_cli serve   --dataset=epinions --scale=0.08 --qps=50 --duration=5
 //                    [--workers=2] [--batch-cap=16] [--seed=1] [--replay]
 //                    [--compress=on] [--spill-dir=D] [--prewarm-frac=0.1]
@@ -39,6 +40,7 @@
 // injection not compiled in.
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <string>
 
@@ -65,13 +67,18 @@ std::vector<std::string> SplitCsv(const std::string& s) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: tfsn_cli <stats|compat|team|export> [--dataset=name|"
+               "usage: tfsn_cli <stats|compat|team|form|serve|export> "
+               "[--dataset=name|"
                "--graph=file] [options]\n"
                "  stats                      dataset statistics\n"
                "  compat --u=A --v=B         pair compatibility verdicts\n"
                "  team --skills=1,2,3        form a team [--relation=spm]\n"
                "       [--algorithm=lcmd]    lcmd|lcmc|random\n"
                "       [--topk=K]            emit the K best teams\n"
+               "       [--shards=S]          sharded engine with S workers\n"
+               "                             (alias: form; prints a comm\n"
+               "                             summary; teams bit-identical)\n"
+               "       [--shard-strategy=hash]  hash|range partitioning\n"
                "  serve                      run the team-formation server\n"
                "       [--qps=50]            open-loop arrival rate\n"
                "       [--duration=5]        seconds of offered load\n"
@@ -242,6 +249,43 @@ int CmdTeam(const Flags& flags) {
   }
   params.max_seeds = static_cast<uint32_t>(flags.GetInt("max_seeds", 25));
   GreedyTeamFormer former(oracle.get(), ds.skills, &index, params);
+
+  // --shards routes the formation through the sharded engine (bit-identical
+  // teams; see README "Sharded formation"). Implies --topk=1.
+  const uint32_t shards = static_cast<uint32_t>(flags.GetInt("shards", 0));
+  if (shards > 0) {
+    DistOptions dist_options;
+    dist_options.num_shards = shards;
+    const std::string strategy = flags.GetString("shard_strategy", "hash");
+    if (!ParseShardStrategy(strategy, &dist_options.strategy)) {
+      std::fprintf(stderr, "--shard-strategy takes hash|range, got '%s'\n",
+                   strategy.c_str());
+      return 1;
+    }
+    dist_options.oracle_factory = OracleFactoryFor(kind);
+    DistributedFormer dist(ds.graph, ds.skills, &index, params, dist_options);
+    FormCommStats comm;
+    const Result<TeamResult> result = dist.Form(task, &rng, &comm);
+    if (!result.ok()) {
+      std::fprintf(stderr, "sharded formation failed: %s\n",
+                   result.status().ToString().c_str());
+      return 2;
+    }
+    if (!result->found) {
+      std::printf("no compatible team found under %s\n", CompatKindName(kind));
+      return 2;
+    }
+    std::printf("team #1 (diameter %u):", result->cost);
+    for (NodeId member : result->members) std::printf(" %u", member);
+    std::printf("\n");
+    std::printf("comm: %u shards (%s), %" PRIu64 " steps, %" PRIu64
+                " rounds, %" PRIu64 " msgs, %" PRIu64 " ctrl B, %" PRIu64
+                " data B, %" PRIu64 " dropped\n",
+                shards, ShardStrategyName(dist_options.strategy), comm.steps,
+                comm.rounds, comm.comm.messages_sent, comm.comm.control_bytes,
+                comm.comm.data_bytes, comm.comm.messages_dropped);
+    return 0;
+  }
 
   uint32_t topk = static_cast<uint32_t>(flags.GetInt("topk", 1));
   auto teams = former.FormTopK(task, topk, &rng);
@@ -483,7 +527,7 @@ int main(int argc, char** argv) {
   const std::string& command = flags.passthrough()[0];
   if (command == "stats") return CmdStats(flags);
   if (command == "compat") return CmdCompat(flags);
-  if (command == "team") return CmdTeam(flags);
+  if (command == "team" || command == "form") return CmdTeam(flags);
   if (command == "serve") return CmdServe(flags);
   if (command == "export") return CmdExport(flags);
   return Usage();

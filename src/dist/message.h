@@ -1,0 +1,106 @@
+// Typed wire messages for the sharded formation engine.
+//
+// Every exchange between the coordinator and the shard workers — and
+// between workers (row slices) — is one of these message kinds, encoded to
+// a flat little-endian byte vector before it enters the Transport. The
+// in-process transport could pass structs by move, but encoding every
+// message keeps the CommStats byte ledger honest (bytes counted are bytes
+// a real network transport would move) and exercises the exact
+// serialization a multi-process backend will need.
+//
+// Framing: a fixed header (type, source endpoint, run / seed / step epoch,
+// status) followed by type-specific fields. The epoch triple lets
+// receivers drop stale traffic after an aborted run; the status byte lets
+// a reply carry a typed tfsn::Status error instead of a result.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/graph/signed_graph.h"
+#include "src/skills/skills.h"
+#include "src/util/status.h"
+
+namespace tfsn {
+
+/// Message kinds of the per-step formation protocol (see README "Sharded
+/// formation" for the protocol diagram).
+enum class MsgType : uint8_t {
+  kFormBegin = 1,       ///< coordinator -> all: task + per-run config
+  kEvalStep = 2,        ///< coordinator -> all: team delta + skill to fill
+  kCandidateReply = 3,  ///< worker -> coordinator: local count + local best
+  kRowSlice = 4,        ///< worker -> worker: new member's row, dest-restricted
+  kCountLe = 5,         ///< coordinator -> all: RANDOM rank probe (id <= x)
+  kCountReply = 6,      ///< worker -> coordinator
+  kPickRank = 7,        ///< coordinator -> one worker: rank -> node id
+  kPickReply = 8,       ///< worker -> coordinator
+  kCostEval = 9,        ///< coordinator -> all: final team, gather distances
+  kCostReply = 10,      ///< worker -> coordinator: owned rows of the team
+  kAbort = 11,          ///< coordinator -> all: drop the current run
+};
+
+const char* MsgTypeName(MsgType t);
+
+/// One protocol message. A tagged union kept as one struct: only the
+/// fields of the active `type` are encoded / decoded, the rest stay at
+/// their defaults.
+struct Message {
+  MsgType type = MsgType::kAbort;
+  /// Sending endpoint: shard id, or num_shards for the coordinator.
+  uint32_t src = 0;
+  /// Epoch: formation run id, seed index within the run, greedy step
+  /// within the seed. Receivers ignore messages from other epochs.
+  uint32_t run = 0;
+  uint32_t seed = 0;
+  uint32_t step = 0;
+  /// Replies: kOk or the typed failure the worker hit (with `error`).
+  StatusCode status = StatusCode::kOk;
+  std::string error;
+
+  // kFormBegin
+  std::vector<SkillId> task_skills;
+  uint8_t user_policy = 0;
+  uint32_t pool_cap = 0;
+
+  // kEvalStep: the member added by the previous step (the seed user at
+  // step 0), the skill to fill now, and the skills still uncovered after
+  // it (kMostCompatible's future-holder pool).
+  NodeId new_member = 0;
+  SkillId skill = 0;
+  std::vector<SkillId> rest;
+
+  // kCandidateReply / kCountReply / kPickReply
+  uint64_t count = 0;
+  uint8_t has_best = 0;
+  NodeId best_id = 0;
+  uint64_t best_score = 0;
+
+  // kRowSlice: `new_member`'s compatibility row restricted to the
+  // destination shard's slice of the holder universe — comp bits packed
+  // 64 per word, one uint32 distance per universe node, both in the
+  // destination's ascending local-universe order.
+  std::vector<uint64_t> slice_comp;
+  std::vector<uint32_t> slice_dist;
+
+  // kCountLe / kPickRank probe argument (threshold id / local rank).
+  uint64_t arg = 0;
+
+  // kCostEval / kCostReply: the final team (ascending), and the flat
+  // |members| x |team| directed distance matrix for the members this
+  // worker owns.
+  std::vector<NodeId> team;
+  std::vector<NodeId> members;
+  std::vector<uint32_t> dists;
+};
+
+/// Serializes `msg` (header + the active type's fields).
+std::vector<uint8_t> EncodeMessage(const Message& msg);
+
+/// Parses bytes produced by EncodeMessage. Returns false on truncated or
+/// malformed input (never reads out of bounds, *out left unspecified).
+bool DecodeMessage(std::span<const uint8_t> bytes, Message* out);
+
+}  // namespace tfsn

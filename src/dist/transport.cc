@@ -1,0 +1,136 @@
+#include "src/dist/transport.h"
+
+#include <chrono>
+#include <string>
+
+#include "src/util/fault_injection.h"
+#include "src/util/logging.h"
+
+namespace tfsn {
+
+InProcessTransport::InProcessTransport(uint32_t num_shards)
+    : num_shards_(num_shards) {
+  TFSN_CHECK(num_shards >= 1);
+  mailboxes_.reserve(num_shards_ + 1);
+  for (uint32_t i = 0; i <= num_shards_; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+InProcessTransport::~InProcessTransport() { Close(); }
+
+Status InProcessTransport::Send(uint32_t src, uint32_t dst,
+                                const Message& msg) {
+  TFSN_CHECK(src <= num_shards_ && dst <= num_shards_);
+  std::vector<uint8_t> bytes = EncodeMessage(msg);
+  const uint64_t size = bytes.size();
+  const bool control = src == num_shards_ || dst == num_shards_;
+  if (TFSN_FAULT_POINT("dist.send_drop")) {
+    MutexLock lock(&stats_mu_);
+    ++stats_.messages_dropped;
+    stats_.bytes_dropped += size;
+    return Status::Unavailable("injected send drop (" +
+                               std::string(MsgTypeName(msg.type)) + " " +
+                               std::to_string(src) + " -> " +
+                               std::to_string(dst) + ")");
+  }
+  Mailbox& box = *mailboxes_[dst];
+  MutexLock lock(&box.mu);
+  if (box.closed) {
+    return Status::Unavailable("transport closed (send to " +
+                               std::to_string(dst) + ")");
+  }
+  box.queue.push_back(std::move(bytes));
+  box.cv.NotifyOne();
+  {
+    // Counted while still holding the mailbox lock: a receiver cannot pop
+    // (and count a delivery for) a message before its send is in the
+    // ledger, so `sent == delivered + pending` holds at quiescence.
+    MutexLock stats_lock(&stats_mu_);
+    ++stats_.messages_sent;
+    stats_.bytes_sent += size;
+    if (control) {
+      ++stats_.control_messages;
+      stats_.control_bytes += size;
+    } else {
+      ++stats_.data_messages;
+      stats_.data_bytes += size;
+    }
+  }
+  return Status::OK();
+}
+
+Status InProcessTransport::Recv(uint32_t dst, int64_t timeout_ms,
+                                Message* out) {
+  TFSN_CHECK(dst <= num_shards_);
+  // The fault models a deadline expiring on a bounded wait; untimed waits
+  // (worker idle loops) have no deadline to expire, which keeps fault
+  // schedules deterministic — no hit counts from time-dependent polling.
+  if (timeout_ms >= 0 && TFSN_FAULT_POINT("dist.recv_timeout")) {
+    return Status::DeadlineExceeded("injected recv timeout (endpoint " +
+                                    std::to_string(dst) + ")");
+  }
+  std::vector<uint8_t> bytes;
+  {
+    Mailbox& box = *mailboxes_[dst];
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+    MutexLock lock(&box.mu);
+    while (box.queue.empty()) {
+      if (box.closed) {
+        return Status::Unavailable("transport closed (endpoint " +
+                                   std::to_string(dst) + ")");
+      }
+      if (timeout_ms < 0) {
+        box.cv.Wait(&box.mu);
+        continue;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        return Status::DeadlineExceeded("recv timeout after " +
+                                        std::to_string(timeout_ms) +
+                                        "ms (endpoint " +
+                                        std::to_string(dst) + ")");
+      }
+      const int64_t remaining_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+              .count();
+      box.cv.WaitFor(&box.mu, remaining_ms + 1);
+    }
+    bytes = std::move(box.queue.front());
+    box.queue.pop_front();
+  }
+  if (!DecodeMessage(bytes, out)) {
+    return Status::Internal("malformed message (" +
+                            std::to_string(bytes.size()) + " bytes, endpoint " +
+                            std::to_string(dst) + ")");
+  }
+  MutexLock lock(&stats_mu_);
+  ++stats_.messages_delivered;
+  stats_.bytes_delivered += bytes.size();
+  return Status::OK();
+}
+
+void InProcessTransport::Close() {
+  for (auto& box : mailboxes_) {
+    MutexLock lock(&box->mu);
+    box->closed = true;
+    box->cv.NotifyAll();
+  }
+}
+
+CommStats InProcessTransport::stats() const {
+  MutexLock lock(&stats_mu_);
+  return stats_;
+}
+
+uint64_t InProcessTransport::PendingMessages() const {
+  uint64_t pending = 0;
+  for (const auto& box : mailboxes_) {
+    MutexLock lock(&box->mu);
+    pending += box->queue.size();
+  }
+  return pending;
+}
+
+}  // namespace tfsn

@@ -1,0 +1,112 @@
+// The transport seam of the sharded formation engine.
+//
+// Endpoints are numbered 0..S: shard workers 0..S-1 plus the coordinator
+// at endpoint S. Every message crosses the seam as EncodeMessage() bytes,
+// and the transport keeps a CommStats ledger of everything it moved —
+// split into the *control plane* (any message to or from the coordinator:
+// broadcasts, per-shard bests, rank probes — the traffic that must stay
+// O(S * team_size) per step) and the *data plane* (worker-to-worker row
+// slices, which legitimately scale with the holder universe).
+//
+// InProcessTransport is the threads-as-shards implementation: one mutex +
+// condvar mailbox per endpoint, bounded-timeout receives, and the
+// `dist.send_drop` / `dist.recv_timeout` fault points, so CI can measure
+// real scaling and failure behavior without MPI. A multi-process backend
+// only has to implement the same four-method interface.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/dist/message.h"
+#include "src/util/mutex.h"
+#include "src/util/status.h"
+#include "src/util/thread_annotations.h"
+
+namespace tfsn {
+
+/// Cumulative transport traffic ledger. Byte counts are encoded wire
+/// sizes. The accounting identity `messages_sent == messages_delivered +
+/// pending` holds at any quiescent point (dropped messages are counted
+/// separately and never enqueued).
+struct CommStats {
+  uint64_t messages_sent = 0;       ///< successfully enqueued
+  uint64_t bytes_sent = 0;
+  uint64_t messages_delivered = 0;  ///< returned from Recv
+  uint64_t bytes_delivered = 0;
+  uint64_t messages_dropped = 0;    ///< injected send faults
+  uint64_t bytes_dropped = 0;
+  uint64_t control_messages = 0;    ///< sent, coordinator on either end
+  uint64_t control_bytes = 0;
+  uint64_t data_messages = 0;       ///< sent, worker <-> worker
+  uint64_t data_bytes = 0;
+};
+
+/// Point-to-point messaging between the S + 1 formation endpoints.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Number of shard worker endpoints (the coordinator is endpoint
+  /// num_shards()).
+  virtual uint32_t num_shards() const = 0;
+
+  /// The coordinator's endpoint id.
+  uint32_t coordinator() const { return num_shards(); }
+
+  /// Delivers `msg` from endpoint `src` to endpoint `dst`'s mailbox.
+  /// Unavailable when the transport is closed or the message was dropped
+  /// (injected fault).
+  virtual Status Send(uint32_t src, uint32_t dst, const Message& msg) = 0;
+
+  /// Next message addressed to endpoint `dst`. Blocks up to `timeout_ms`
+  /// milliseconds (DeadlineExceeded on expiry); `timeout_ms < 0` blocks
+  /// until a message arrives or the transport closes (Unavailable —
+  /// returned only once the mailbox is fully drained).
+  virtual Status Recv(uint32_t dst, int64_t timeout_ms, Message* out) = 0;
+
+  /// Shuts the transport down: every blocked and future Recv drains its
+  /// mailbox and then returns Unavailable; every future Send fails.
+  virtual void Close() = 0;
+
+  /// Snapshot of the traffic ledger.
+  virtual CommStats stats() const = 0;
+
+  /// Messages currently enqueued across all mailboxes.
+  virtual uint64_t PendingMessages() const = 0;
+};
+
+/// Threads-as-shards transport: mailboxes in process memory.
+class InProcessTransport final : public Transport {
+ public:
+  explicit InProcessTransport(uint32_t num_shards);
+  ~InProcessTransport() override;
+
+  uint32_t num_shards() const override { return num_shards_; }
+  Status Send(uint32_t src, uint32_t dst, const Message& msg) override;
+  Status Recv(uint32_t dst, int64_t timeout_ms, Message* out) override;
+  void Close() override;
+  CommStats stats() const override;
+  uint64_t PendingMessages() const override;
+
+ private:
+  struct Mailbox {
+    Mutex mu;
+    CondVar cv;
+    std::deque<std::vector<uint8_t>> queue TFSN_GUARDED_BY(mu);
+    bool closed TFSN_GUARDED_BY(mu) = false;
+  };
+
+  const uint32_t num_shards_;
+  /// One mailbox per endpoint (workers 0..S-1, coordinator S). Boxed:
+  /// Mutex is neither movable nor copyable.
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  mutable Mutex stats_mu_;
+  CommStats stats_ TFSN_GUARDED_BY(stats_mu_);
+};
+
+}  // namespace tfsn

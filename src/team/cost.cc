@@ -9,28 +9,16 @@ namespace tfsn {
 
 uint32_t TeamDiameter(CompatibilityOracle* oracle,
                       std::span<const NodeId> team) {
-  uint32_t diameter = 0;
-  for (size_t i = 0; i < team.size(); ++i) {
-    for (size_t j = i + 1; j < team.size(); ++j) {
-      uint32_t d = oracle->Distance(team[i], team[j]);
-      if (d == kUnreachable) return kUnreachable;
-      diameter = std::max(diameter, d);
-    }
-  }
-  return diameter;
+  return TeamDiameterOver(team.size(), [&](size_t i, size_t j) {
+    return oracle->Distance(team[i], team[j]);
+  });
 }
 
 uint32_t TeamDiameter(const TaskCompatView& view,
                       std::span<const uint32_t> team_local) {
-  uint32_t diameter = 0;
-  for (size_t i = 0; i < team_local.size(); ++i) {
-    for (size_t j = i + 1; j < team_local.size(); ++j) {
-      const uint32_t d = view.PairDistance(team_local[i], team_local[j]);
-      if (d == kUnreachable) return kUnreachable;
-      diameter = std::max(diameter, d);
-    }
-  }
-  return diameter;
+  return TeamDiameterOver(team_local.size(), [&](size_t i, size_t j) {
+    return view.PairDistance(team_local[i], team_local[j]);
+  });
 }
 
 const char* CostKindName(CostKind kind) {
@@ -44,86 +32,16 @@ const char* CostKindName(CostKind kind) {
 
 uint64_t TeamCost(CompatibilityOracle* oracle, std::span<const NodeId> team,
                   CostKind kind) {
-  constexpr uint64_t kInfinite = std::numeric_limits<uint64_t>::max();
-  if (team.size() <= 1) return 0;
-  switch (kind) {
-    case CostKind::kDiameter: {
-      uint32_t d = TeamDiameter(oracle, team);
-      return d == kUnreachable ? kInfinite : d;
-    }
-    case CostKind::kSumOfPairs: {
-      uint64_t sum = 0;
-      for (size_t i = 0; i < team.size(); ++i) {
-        for (size_t j = i + 1; j < team.size(); ++j) {
-          uint32_t d = oracle->Distance(team[i], team[j]);
-          if (d == kUnreachable) return kInfinite;
-          sum += d;
-        }
-      }
-      return sum;
-    }
-    case CostKind::kCenterStar: {
-      uint64_t best = kInfinite;
-      for (size_t c = 0; c < team.size(); ++c) {
-        uint64_t star = 0;
-        bool ok = true;
-        for (size_t i = 0; i < team.size(); ++i) {
-          if (i == c) continue;
-          uint32_t d = oracle->Distance(team[c], team[i]);
-          if (d == kUnreachable) {
-            ok = false;
-            break;
-          }
-          star += d;
-        }
-        if (ok) best = std::min(best, star);
-      }
-      return best;
-    }
-  }
-  return kInfinite;
+  return TeamCostOver(team.size(), kind, [&](size_t i, size_t j) {
+    return oracle->Distance(team[i], team[j]);
+  });
 }
 
 uint64_t TeamCost(const TaskCompatView& view,
                   std::span<const uint32_t> team_local, CostKind kind) {
-  constexpr uint64_t kInfinite = std::numeric_limits<uint64_t>::max();
-  if (team_local.size() <= 1) return 0;
-  switch (kind) {
-    case CostKind::kDiameter: {
-      const uint32_t d = TeamDiameter(view, team_local);
-      return d == kUnreachable ? kInfinite : d;
-    }
-    case CostKind::kSumOfPairs: {
-      uint64_t sum = 0;
-      for (size_t i = 0; i < team_local.size(); ++i) {
-        for (size_t j = i + 1; j < team_local.size(); ++j) {
-          const uint32_t d = view.PairDistance(team_local[i], team_local[j]);
-          if (d == kUnreachable) return kInfinite;
-          sum += d;
-        }
-      }
-      return sum;
-    }
-    case CostKind::kCenterStar: {
-      uint64_t best = kInfinite;
-      for (size_t c = 0; c < team_local.size(); ++c) {
-        uint64_t star = 0;
-        bool ok = true;
-        for (size_t i = 0; i < team_local.size(); ++i) {
-          if (i == c) continue;
-          const uint32_t d = view.PairDistance(team_local[c], team_local[i]);
-          if (d == kUnreachable) {
-            ok = false;
-            break;
-          }
-          star += d;
-        }
-        if (ok) best = std::min(best, star);
-      }
-      return best;
-    }
-  }
-  return kInfinite;
+  return TeamCostOver(team_local.size(), kind, [&](size_t i, size_t j) {
+    return view.PairDistance(team_local[i], team_local[j]);
+  });
 }
 
 bool TeamCompatible(CompatibilityOracle* oracle,

@@ -43,6 +43,55 @@ const char* UserPolicyName(UserPolicy p) {
   return "?";
 }
 
+SkillId SelectSkillByPolicy(SkillPolicy policy, const SkillAssignment& skills,
+                            const SkillCompatibilityIndex* index,
+                            const std::vector<SkillId>& uncovered) {
+  TFSN_CHECK(!uncovered.empty());
+  if (policy == SkillPolicy::kLeastCompatible) TFSN_CHECK(index != nullptr);
+  SkillId best = uncovered[0];
+  for (SkillId s : uncovered) {
+    switch (policy) {
+      case SkillPolicy::kRarest:
+        if (skills.Frequency(s) < skills.Frequency(best)) best = s;
+        break;
+      case SkillPolicy::kLeastCompatible:
+        if (index->Degree(s) < index->Degree(best)) best = s;
+        break;
+    }
+  }
+  return best;
+}
+
+std::vector<NodeId> GreedySeedSet(const SkillAssignment& skills,
+                                  SkillId first_skill, uint32_t max_seeds,
+                                  Rng* rng) {
+  auto holders = skills.Holders(first_skill);
+  std::vector<NodeId> seeds(holders.begin(), holders.end());
+  if (max_seeds > 0 && seeds.size() > max_seeds) {
+    TFSN_CHECK(rng != nullptr);
+    std::vector<uint32_t> picks = rng->SampleWithoutReplacement(
+        static_cast<uint32_t>(seeds.size()), max_seeds);
+    std::sort(picks.begin(), picks.end());
+    std::vector<NodeId> sampled;
+    sampled.reserve(picks.size());
+    for (uint32_t p : picks) sampled.push_back(seeds[p]);
+    seeds.swap(sampled);
+  }
+  return seeds;
+}
+
+void ThinPoolEvenly(std::vector<NodeId>* pool, uint32_t cap) {
+  if (cap == 0 || pool->size() <= cap) return;
+  // Deterministic thinning: keep an evenly spaced subset.
+  std::vector<NodeId> thin;
+  thin.reserve(cap);
+  double step = static_cast<double>(pool->size()) / cap;
+  for (uint32_t i = 0; i < cap; ++i) {
+    thin.push_back((*pool)[static_cast<size_t>(i * step)]);
+  }
+  pool->swap(thin);
+}
+
 GreedyTeamFormer::GreedyTeamFormer(CompatibilityOracle* oracle,
                                    const SkillAssignment& skills,
                                    const SkillCompatibilityIndex* index,
@@ -56,19 +105,7 @@ GreedyTeamFormer::GreedyTeamFormer(CompatibilityOracle* oracle,
 
 SkillId GreedyTeamFormer::SelectSkill(
     const std::vector<SkillId>& uncovered) const {
-  TFSN_CHECK(!uncovered.empty());
-  SkillId best = uncovered[0];
-  for (SkillId s : uncovered) {
-    switch (params_.skill_policy) {
-      case SkillPolicy::kRarest:
-        if (skills_.Frequency(s) < skills_.Frequency(best)) best = s;
-        break;
-      case SkillPolicy::kLeastCompatible:
-        if (index_->Degree(s) < index_->Degree(best)) best = s;
-        break;
-    }
-  }
-  return best;
+  return SelectSkillByPolicy(params_.skill_policy, skills_, index_, uncovered);
 }
 
 NodeId GreedyTeamFormer::SelectUser(SkillId skill,
@@ -122,18 +159,7 @@ NodeId GreedyTeamFormer::SelectUser(SkillId skill,
       }
       std::sort(pool.begin(), pool.end());
       pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
-      if (params_.most_compatible_pool_cap > 0 &&
-          pool.size() > params_.most_compatible_pool_cap) {
-        // Deterministic thinning: keep an evenly spaced subset.
-        std::vector<NodeId> thin;
-        thin.reserve(params_.most_compatible_pool_cap);
-        double step = static_cast<double>(pool.size()) /
-                      params_.most_compatible_pool_cap;
-        for (uint32_t i = 0; i < params_.most_compatible_pool_cap; ++i) {
-          thin.push_back(pool[static_cast<size_t>(i * step)]);
-        }
-        pool.swap(thin);
-      }
+      ThinPoolEvenly(&pool, params_.most_compatible_pool_cap);
       NodeId best = kInvalidNode;
       int64_t best_score = -1;
       for (NodeId v : candidates) {
@@ -361,18 +387,8 @@ std::pair<uint32_t, uint32_t> GreedyTeamFormer::EnumerateCandidates(
   SkillId first = SelectSkill(all_skills);
 
   // Seed set: holders of the initial skill, optionally capped by sampling.
-  auto holders = skills_.Holders(first);
-  std::vector<NodeId> seeds(holders.begin(), holders.end());
-  if (params_.max_seeds > 0 && seeds.size() > params_.max_seeds) {
-    TFSN_CHECK(rng != nullptr);
-    std::vector<uint32_t> picks = rng->SampleWithoutReplacement(
-        static_cast<uint32_t>(seeds.size()), params_.max_seeds);
-    std::sort(picks.begin(), picks.end());
-    std::vector<NodeId> sampled;
-    sampled.reserve(picks.size());
-    for (uint32_t p : picks) sampled.push_back(seeds[p]);
-    seeds.swap(sampled);
-  }
+  std::vector<NodeId> seeds =
+      GreedySeedSet(skills_, first, params_.max_seeds, rng);
 
   // The task's holder universe — every candidate the seed loop can touch
   // holds one of the task's skills. Computed once and shared by the

@@ -53,6 +53,32 @@ enum class UserPolicy : uint8_t {
 const char* SkillPolicyName(SkillPolicy p);
 const char* UserPolicyName(UserPolicy p);
 
+/// "Select skill" (lines 3 and 8 of Algorithm 2) as a free function: the
+/// first skill of `uncovered` (ascending) with the strictly smallest
+/// priority — holder frequency (kRarest) or index degree
+/// (kLeastCompatible; `index` must be non-null then). The sharded
+/// coordinator (src/dist/) replicates the single-node skill choice through
+/// this exact function; `uncovered` must be non-empty.
+SkillId SelectSkillByPolicy(SkillPolicy policy, const SkillAssignment& skills,
+                            const SkillCompatibilityIndex* index,
+                            const std::vector<SkillId>& uncovered);
+
+/// The seed set of Algorithm 2's outer loop: holders of `first_skill`
+/// (ascending), sampled without replacement down to `max_seeds` when the
+/// cap is exceeded (0 = no cap; `rng` must be non-null when sampling
+/// happens — it consumes exactly one SampleWithoutReplacement draw then).
+/// Shared by the single-node and sharded formers so both consume the same
+/// rng stream.
+std::vector<NodeId> GreedySeedSet(const SkillAssignment& skills,
+                                  SkillId first_skill, uint32_t max_seeds,
+                                  Rng* rng);
+
+/// kMostCompatible's deterministic pool thinning: when `pool` (sorted,
+/// deduplicated) exceeds `cap` > 0, keeps the evenly spaced subset at
+/// ranks floor(i * |pool| / cap). Exposed so the sharded workers thin
+/// with bit-identical arithmetic.
+void ThinPoolEvenly(std::vector<NodeId>* pool, uint32_t cap);
+
 /// How Form/FormTopK evaluate compatibility inside the seed loop.
 enum class GreedyEvalPath : uint8_t {
   /// Build the task-local dense view (task_view.h) when it fits the byte

@@ -29,6 +29,10 @@
 #include "src/compat/stats.h"             // IWYU pragma: export
 #include "src/compat/threshold.h"         // IWYU pragma: export
 #include "src/data/datasets.h"            // IWYU pragma: export
+#include "src/dist/distributed_former.h"  // IWYU pragma: export
+#include "src/dist/message.h"             // IWYU pragma: export
+#include "src/dist/shard_plan.h"          // IWYU pragma: export
+#include "src/dist/transport.h"           // IWYU pragma: export
 #include "src/ext/balance_clustering.h"   // IWYU pragma: export
 #include "src/ext/sign_prediction.h"      // IWYU pragma: export
 #include "src/gen/generators.h"           // IWYU pragma: export

@@ -23,7 +23,9 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "src/util/thread_annotations.h"
@@ -114,6 +116,18 @@ class CondVar {
   template <typename Pred>
   void Wait(Mutex* mu, Pred pred) TFSN_REQUIRES(mu) {
     while (!pred()) Wait(mu);
+  }
+
+  /// Like Wait(mu) but gives up after `timeout_ms` milliseconds. Returns
+  /// false iff the wait timed out; true on notify *or* spurious wakeup —
+  /// callers must re-check their predicate either way and re-derive the
+  /// remaining time themselves (deadline loops, not per-call budgets).
+  bool WaitFor(Mutex* mu, int64_t timeout_ms) TFSN_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const std::cv_status st =
+        cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms));
+    lock.release();
+    return st == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }
